@@ -1,0 +1,22 @@
+"""Ablation: §3.6 authority-side refresh aggregation and sampling.
+
+Table 3 shows per-replica refresh propagation overtaking standard
+caching at modest replica counts; §3.6 sketches two mitigations the
+authority can apply (propagate a subset of refreshes; batch refreshes
+arriving within a threshold window).  This bench measures both at 10
+replicas per key.
+"""
+
+from repro.experiments.ablations import run_aggregation_ablation
+from repro.experiments.runner import clear_cache
+
+
+def test_ablation_refresh_aggregation(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_aggregation_ablation(
+            bench_scale, paper_rate=1.0, replicas=10, seed=42
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("ablation_aggregation", result)

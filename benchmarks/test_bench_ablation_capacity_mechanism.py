@@ -1,0 +1,22 @@
+"""Ablation: fractional capacity (§3.7) versus the rate pump (§2.8).
+
+The paper's experiments reduce capacity by dropping a fraction of
+updates; its architecture section describes a rate-limited pump with
+longest-queue-first sharing and priority reordering.  This bench runs
+both mechanisms at comparable stress: the pump defers (no suppression
+counted), fractional forwarding drops.
+"""
+
+from repro.experiments.ablations import run_capacity_mechanism_ablation
+from repro.experiments.runner import clear_cache
+
+
+def test_ablation_capacity_mechanism(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_capacity_mechanism_ablation(
+            bench_scale, paper_rate=10.0, seed=42
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("ablation_capacity_mechanism", result)

@@ -1,0 +1,19 @@
+"""Ablation: how much of CUP's win is query coalescing alone?
+
+Decomposes CUP into (1) the open-connection baseline, (2) baseline plus
+the Pending-First-Update coalescing machinery, (3) full CUP with update
+propagation — quantifying each mechanism's contribution (§1 and §4
+motivate both separately).
+"""
+
+from repro.experiments.ablations import run_coalescing_ablation
+from repro.experiments.runner import clear_cache
+
+
+def test_ablation_coalescing(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_coalescing_ablation(bench_scale, paper_rate=10.0, seed=42)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("ablation_coalescing", result)

@@ -1,0 +1,19 @@
+"""Ablation: CUP over CAN versus over Chord.
+
+§2.2 claims CUP works over any structured overlay; this runs the same
+workload over both substrates and checks the win appears on each (with
+absolute numbers scaled by the substrates' route-length geometry —
+O(sqrt n) grid paths vs O(log n) finger paths).
+"""
+
+from repro.experiments.ablations import run_overlay_ablation
+from repro.experiments.runner import clear_cache
+
+
+def test_ablation_overlay_substrate(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_overlay_ablation(bench_scale, paper_rate=1.0, seed=42)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("ablation_overlay", result)

@@ -1,0 +1,18 @@
+"""Figure 3: total and miss cost versus push level, low query rates.
+
+Paper shape: miss cost falls monotonically with push level; total cost
+reaches its minimum at an interior/deep level; push level 0 equals
+standard caching; CUP's best level beats standard caching.
+"""
+
+from repro.experiments.push_level import run_push_level
+from repro.experiments.runner import clear_cache
+
+
+def test_fig3_push_level(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_push_level(bench_scale, paper_rates=(1.0, 10.0), seed=42)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("fig3_push_level", result)

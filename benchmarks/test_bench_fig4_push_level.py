@@ -1,0 +1,25 @@
+"""Figure 4: total and miss cost versus push level, high query rates.
+
+Same sweep as Figure 3 at the paper's λ=100 and λ=1000 (the paper plots
+these on a log y-axis).  The ``small`` preset runs the λ=100 point; the
+λ=1000 cell needs ``REPRO_SCALE=paper``.
+
+Paper shape: at high rates the total-cost curve tapers flat past its
+minimum — deep pushes stay justified because subsequent queries are
+plentiful.
+"""
+
+from repro.experiments.push_level import run_push_level
+from repro.experiments.runner import clear_cache
+
+
+def test_fig4_push_level_high_rate(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_push_level(
+            bench_scale, paper_rates=(100.0, 1000.0), seed=42,
+            log_scale_figure=True,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("fig4_push_level_high_rate", result)

@@ -1,0 +1,24 @@
+"""Figure 5: total cost versus reduced outgoing capacity, λ=1.
+
+20% of nodes drop to capacity fraction c — repeatedly (Up-And-Down) or
+permanently (Once-Down-Always-Down).
+
+Paper shape: miss cost rises as c falls, but gracefully (suppressed
+updates also save their own overhead — no cliff at c=0);
+Once-Down-Always-Down suffers at least as many misses as Up-And-Down.
+"""
+
+from repro.experiments.capacity import run_capacity
+from repro.experiments.runner import clear_cache
+
+
+def test_fig5_capacity_low_rate(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_capacity(
+            bench_scale, paper_rate=1.0,
+            capacities=(0.0, 0.25, 0.5, 0.75, 1.0), seed=42,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("fig5_capacity_low_rate", result)

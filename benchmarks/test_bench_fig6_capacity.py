@@ -1,0 +1,27 @@
+"""Figure 6: total cost versus reduced outgoing capacity, high rate.
+
+The paper runs λ=1000 (log y-axis) — "especially interesting because CUP
+has bigger wins with higher query rates ... CUP has more to lose if
+updates do not get propagated".  The ``small`` preset runs the λ=100
+equivalent; ``REPRO_SCALE=paper`` runs λ=1000.
+
+Paper shape: same graceful degradation as Figure 5, with CUP's full-
+capacity total far below standard caching and Once-Down-Always-Down
+worse than Up-And-Down.
+"""
+
+from repro.experiments.capacity import run_capacity
+from repro.experiments.runner import clear_cache
+
+
+def test_fig6_capacity_high_rate(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_capacity(
+            bench_scale, paper_rate=100.0,
+            capacities=(0.0, 0.25, 0.5, 0.75, 1.0), seed=42,
+            log_scale_figure=True,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("fig6_capacity_high_rate", result)

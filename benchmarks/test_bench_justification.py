@@ -1,0 +1,21 @@
+"""§3.1 economics: justified-update fractions and overhead recovery.
+
+Not a numbered table in the paper, but its central quantified argument:
+updates are justified with probability 1 - e^(-ΛT); at >=50% justified,
+CUP's overhead is fully recovered.  This bench measures both across a
+rate sweep under the second-chance policy.
+"""
+
+from repro.experiments.justification import run_justification
+from repro.experiments.runner import clear_cache
+
+
+def test_justification_economics(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_justification(
+            bench_scale, paper_rates=(0.1, 1.0, 10.0, 100.0), seed=42
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("justification_economics", result)

@@ -1,0 +1,22 @@
+"""Table 1: total cost for varying cut-off policies.
+
+Paper shape: the linear and logarithmic probability-based policies are
+α-sensitive at low rates (linear can exceed standard caching);
+second-chance consistently beats both and lands near the optimal push
+level; every CUP policy converges to a small fraction of standard
+caching as the query rate grows.
+"""
+
+from repro.experiments.cutoff_policies import run_cutoff_policies
+from repro.experiments.runner import clear_cache
+
+
+def test_table1_cutoff_policies(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_cutoff_policies(
+            bench_scale, paper_rates=(1.0, 10.0, 100.0, 1000.0), seed=42
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("table1_cutoff_policies", result)

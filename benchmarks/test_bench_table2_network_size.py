@@ -1,0 +1,20 @@
+"""Table 2: CUP versus standard caching across network sizes (+ §3.5
+high-rate point).
+
+Paper shape: CUP's miss cost stays below standard caching's at every
+size; standard caching's miss latency grows with the network while CUP's
+grows far slower (the latency gap widens); the high-rate point is
+dramatically more favorable (paper: 168:1 return at λ=1000).
+"""
+
+from repro.experiments.network_size import run_network_size
+from repro.experiments.runner import clear_cache
+
+
+def test_table2_network_size(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_network_size(bench_scale, paper_rate=1.0, seed=42)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("table2_network_size", result)

@@ -1,0 +1,23 @@
+"""Table 3: multiple replicas per key; naive versus replica-independent
+cut-off triggering.
+
+Paper shape: with the naive trigger, adding replicas *increases* misses
+(updates reset the popularity measure faster than queries accrue); with
+the replica-independent fix, misses are flat in the replica count; total
+cost grows with replicas and eventually overtakes standard caching
+(paper: crossover at 8 replicas).
+"""
+
+from repro.experiments.replicas_sweep import run_replicas_sweep
+from repro.experiments.runner import clear_cache
+
+
+def test_table3_replicas(benchmark, bench_scale, publish):
+    def run():
+        clear_cache()
+        return run_replicas_sweep(
+            bench_scale, replica_counts=(1, 2, 5, 10, 50, 100), seed=42
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("table3_replicas", result)

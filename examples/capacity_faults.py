@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Degraded update capacity: the §3.7 fault scenarios, narrated.
+
+A fifth of the nodes periodically lose most of their outgoing update
+capacity (the Up-And-Down schedule).  CUP's promise: the subtrees below
+degraded nodes fall back to plain expiration-based caching — no errors,
+no storms — and recover as soon as capacity returns.
+
+Run:  python examples/capacity_faults.py
+"""
+
+from repro import (
+    CapacityFaultSchedule,
+    CupConfig,
+    CupNetwork,
+    up_and_down,
+)
+from repro.metrics.timeseries import TimeSeriesSampler
+
+
+def run(reduced: float, narrate: bool = False):
+    config = CupConfig(
+        num_nodes=256,
+        total_keys=1,
+        entry_lifetime=100.0,
+        query_rate=5.0,
+        query_start=200.0,
+        query_duration=1200.0,
+        drain=200.0,
+        seed=13,
+    )
+    net = CupNetwork(config)
+    schedule = CapacityFaultSchedule(
+        net.sim,
+        list(net.nodes),
+        net.set_node_capacity,
+        fraction=0.2,
+        reduced=reduced,
+        rng=net.streams.get("faults"),
+    )
+    up_and_down(
+        schedule,
+        start=config.query_start,
+        end=config.query_end,
+        warmup=150.0,
+        down_for=300.0,
+        stable_for=150.0,
+    )
+    sampler = TimeSeriesSampler(
+        net.sim, 25.0,
+        {
+            "miss hops": lambda: float(net.metrics.miss_cost),
+            "update hops": lambda: float(net.metrics.overhead_cost),
+        },
+    )
+    summary = net.run()
+    if narrate:
+        print("  Fault timeline:")
+        for at, event in schedule.log:
+            print(f"    t={at:7.1f}s  {event}")
+        print()
+        print("  Activity over time (each column = 25 s; darker = more "
+              "hops in that window):")
+        print(sampler.render(["miss hops", "update hops"], width=56))
+    return summary
+
+
+def main() -> None:
+    print("Baseline: standard caching on the same workload...")
+    config = CupConfig(
+        num_nodes=256, total_keys=1, entry_lifetime=100.0, query_rate=5.0,
+        query_start=200.0, query_duration=1200.0, drain=200.0, seed=13,
+        mode="standard",
+    )
+    std = CupNetwork(config).run()
+
+    print("CUP at full capacity...")
+    full = run(reduced=1.0)
+
+    print("CUP with 20% of nodes dropping to c=0.25 (Up-And-Down)...\n")
+    degraded = run(reduced=0.25, narrate=True)
+
+    print()
+    print(f"{'variant':38s}{'miss cost':>10s}{'overhead':>10s}"
+          f"{'total':>8s}")
+    for label, s in [
+        ("standard caching", std),
+        ("CUP, full capacity", full),
+        ("CUP, Up-And-Down episodes (c=0.25)", degraded),
+    ]:
+        print(f"{label:38s}{s.miss_cost:>10d}{s.overhead_cost:>10d}"
+              f"{s.total_cost:>8d}")
+
+    print()
+    lost = degraded.miss_cost - full.miss_cost
+    saved = full.overhead_cost - degraded.overhead_cost
+    print(f"Degradation is graceful: the episodes cost {lost} extra miss "
+          f"hops but also saved {saved} overhead hops —")
+    print("subtrees below degraded nodes quietly fell back to standard "
+          "caching and re-subscribed on recovery.")
+
+
+if __name__ == "__main__":
+    main()

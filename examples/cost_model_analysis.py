@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The §3.1 cost model, analytically and empirically.
+
+Walks through the paper's economic argument on a real overlay:
+
+1. build the virtual query spanning tree V(A, K) for a key on a 256-node
+   CAN;
+2. compute, for each depth, the subtree's aggregate Poisson rate Λ and
+   the analytical justification probability 1 - e^(-ΛT);
+3. find the break-even depth — where pushed updates stop paying for
+   themselves — and compare it against the push level the simulator
+   actually finds optimal (Figure 3's turning point);
+4. compare the analytical justified fraction with the fraction the
+   simulator measures.
+
+Run:  python examples/cost_model_analysis.py
+"""
+
+from collections import defaultdict
+
+from repro import (
+    CupConfig,
+    CupNetwork,
+    QueryTree,
+    justification_probability,
+)
+from repro.core.policies import AllOutPolicy
+from repro.overlay.can import CanOverlay
+
+NUM_NODES = 256
+RATE = 0.5           # aggregate queries/second for the key
+LIFETIME = 100.0     # refresh window T = entry lifetime
+KEY = "k00000"
+
+
+def analytical_profile():
+    overlay = CanOverlay.perfect_grid(NUM_NODES)
+    tree = QueryTree.virtual(overlay, KEY)
+    per_node_rate = {node: RATE / NUM_NODES for node in tree.nodes}
+
+    print(f"Virtual query spanning tree for {KEY!r}: root "
+          f"{tree.root}, {len(tree)} nodes, depth {tree.max_depth()}")
+    print()
+    print(f"{'depth':>5s} {'nodes':>6s} {'mean subtree Λ':>15s} "
+          f"{'P(justified)':>13s}")
+
+    by_depth = defaultdict(list)
+    for node in tree.nodes:
+        by_depth[tree.depth[node]].append(node)
+
+    break_even_depth = None
+    for depth in sorted(by_depth):
+        nodes = by_depth[depth]
+        rates = [tree.aggregate_rate(n, per_node_rate) for n in nodes]
+        mean_rate = sum(rates) / len(rates)
+        p = justification_probability(mean_rate, LIFETIME)
+        print(f"{depth:>5d} {len(nodes):>6d} {mean_rate:>15.4f} "
+              f"{p:>13.2%}")
+        if p >= 0.5 and (break_even_depth is None or depth > break_even_depth):
+            break_even_depth = depth
+    print()
+    print(f"Analytical break-even (P >= 50%) holds through depth "
+          f"{break_even_depth}: updates pushed deeper than that are "
+          f"unlikely to recover their cost.")
+    return break_even_depth
+
+
+def empirical_check(break_even_depth):
+    base = CupConfig(
+        num_nodes=NUM_NODES, total_keys=1, entry_lifetime=LIFETIME,
+        query_rate=RATE, query_start=200.0, query_duration=1000.0,
+        drain=200.0, seed=3,
+    )
+    print()
+    print("Simulated total cost by push level (Figure 3 procedure):")
+    best_level, best_total = None, None
+    for level in (0, 2, 4, 6, 8, 10, 12, 16):
+        summary = CupNetwork(
+            base.variant(policy=AllOutPolicy(push_level=level))
+        ).run()
+        marker = ""
+        if best_total is None or summary.total_cost < best_total:
+            best_level, best_total = level, summary.total_cost
+            marker = "  <- best so far"
+        print(f"  push level {level:>2d}: total {summary.total_cost:6d} "
+              f"hops (miss {summary.miss_cost}, overhead "
+              f"{summary.overhead_cost}){marker}")
+
+    print()
+    print(f"Simulator's best push level: {best_level} "
+          f"(analytical break-even depth: {break_even_depth})")
+
+    summary = CupNetwork(base).run()
+    print()
+    print(f"Full CUP with second-chance measures a justified-update "
+          f"fraction of {summary.justified_fraction:.0%} "
+          f"(break-even is 50%) — the adaptive policy keeps propagation "
+          f"inside the profitable region without knowing Λ.")
+
+
+def main() -> None:
+    break_even_depth = analytical_profile()
+    empirical_check(break_even_depth)
+
+
+if __name__ == "__main__":
+    main()

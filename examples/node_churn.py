@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Node arrivals and departures during operation (§2.9).
+
+The peer-to-peer model assumes continuous membership churn.  This
+example runs a 64-node CAN under a steady query workload while nodes
+join and leave (some gracefully — handing over their slice of the global
+index — and some by failing outright), and shows that:
+
+* queries keep resolving throughout (CUP re-routes around churn);
+* graceful departures hand their index entries to the new authorities;
+* ungraceful failures lose entries, which replicas re-announce on their
+  next refresh — the paper's "subsequent queries will restart update
+  propagations".
+
+Run:  python examples/node_churn.py
+"""
+
+from repro import CupConfig, CupNetwork
+from repro.workload.churn import ChurnSchedule
+
+
+def main() -> None:
+    config = CupConfig(
+        num_nodes=64,
+        total_keys=8,
+        replicas_per_key=2,
+        entry_lifetime=100.0,
+        query_rate=10.0,
+        query_start=200.0,
+        query_duration=1000.0,
+        drain=200.0,
+        seed=5,
+    )
+    net = CupNetwork(config)
+    churn = ChurnSchedule(net.sim, net)
+
+    # Scripted churn: a wave of joins, a graceful wave, then failures.
+    for i, at in enumerate((300.0, 380.0, 460.0, 540.0)):
+        churn.schedule_join(at, f"late-{i}")
+    churn.schedule_leave(650.0, 3, graceful=True)
+    churn.schedule_leave(700.0, 17, graceful=True)
+    churn.schedule_leave(750.0, 42, graceful=False)   # crash
+    churn.schedule_leave(800.0, "late-1", graceful=False)  # crash
+    # Plus background Poisson churn for the rest of the run.
+    churn.poisson(
+        rate=0.01, start=850.0, end=1100.0,
+        rng=net.streams.get("churn"),
+    )
+
+    snapshot = {}
+    net.sim.schedule_at(
+        250.0,  # replicas have all announced by now; churn not yet begun
+        lambda: snapshot.update(
+            before=sum(
+                n.authority_index.entry_count() for n in net.nodes.values()
+            )
+        ),
+    )
+    summary = net.run()
+    entries_before = snapshot["before"]
+    entries_after = sum(
+        n.authority_index.entry_count() for n in net.nodes.values()
+    )
+
+    print("Churn log:")
+    for at, event, node_id in churn.log:
+        print(f"  t={at:7.1f}s  {event:5s}  {node_id}")
+
+    print()
+    print(f"Members: started with 64, ended with {len(net.nodes)}")
+    print(f"Authority index entries: {entries_before} before churn, "
+          f"{entries_after} at end")
+    print(f"(crashed nodes lose entries; replicas re-announce on their "
+          f"next refresh)")
+
+    print()
+    resolved = summary.local_hits + summary.answers_delivered
+    print(f"Queries posted:   {summary.queries_posted}")
+    print(f"Queries resolved: {resolved} "
+          f"({resolved / summary.queries_posted:.1%})")
+    print(f"Messages dropped in flight (departed nodes): "
+          f"{net.transport.dropped}")
+    print(f"Total cost: {summary.total_cost} hops  "
+          f"(miss {summary.miss_cost} + overhead {summary.overhead_cost})")
+    print()
+    print("CUP absorbed the churn: routing epochs invalidated cached "
+          "parents, interest bits were patched, and the PFU timeout "
+          "recovered queries whose responses died with a departed node.")
+
+
+if __name__ == "__main__":
+    main()

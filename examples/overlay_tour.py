@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""A tour of the overlay substrates: CAN geometry and Chord routing.
+
+Renders a small CAN's zone partition as ASCII art while nodes join and
+leave, traces greedy routes across the torus, and contrasts them with
+Chord's logarithmic finger paths — the two substrates CUP runs on
+unchanged (§2.2).
+
+Run:  python examples/overlay_tour.py
+"""
+
+from repro import CanOverlay, ChordOverlay, QueryTree
+
+
+def render_can(overlay: CanOverlay, resolution: int = 32) -> str:
+    """ASCII heat-map of zone ownership over the unit square."""
+    ids = sorted(overlay.node_ids(), key=str)
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    glyph_of = {nid: glyphs[i % len(glyphs)] for i, nid in enumerate(ids)}
+    rows = []
+    for row in range(resolution - 1, -1, -1):
+        y = (row + 0.5) / resolution
+        line = []
+        for col in range(resolution):
+            x = (col + 0.5) / resolution
+            owner = overlay._owner_of((x, y))
+            line.append(glyph_of[owner])
+        rows.append("".join(line))
+    return "\n".join(rows)
+
+
+def can_tour() -> None:
+    print("=" * 64)
+    print("CAN: zones split as nodes join (each glyph = one node's zone)")
+    print("=" * 64)
+    overlay = CanOverlay(dims=2)
+    for i, node in enumerate(["n0", "n1", "n2", "n3", "n4", "n5", "n6"]):
+        overlay.join(node)
+    print(render_can(overlay, resolution=24))
+    print()
+    print("Members and their zones:")
+    for node_id in sorted(overlay.node_ids()):
+        state = overlay.state(node_id)
+        neighbors = ", ".join(sorted(map(str, state.neighbors)))
+        print(f"  {node_id}: {state.zones[0]}  neighbors: {neighbors}")
+
+    key = "music/track-42.mp3"
+    point = overlay.key_point(key)
+    authority = overlay.authority(key)
+    print(f"\nKey {key!r} hashes to ({point[0]:.3f}, {point[1]:.3f}) "
+          f"-> authority {authority}")
+    for start in sorted(overlay.node_ids()):
+        if start == authority:
+            continue
+        route = overlay.route(start, key)
+        print(f"  greedy route from {start}: {' -> '.join(map(str, route))}")
+        break
+
+    victim = "n3"
+    print(f"\n{victim} departs; a neighbor takes over its zone:")
+    takers = overlay.leave(victim)
+    for taker, zone in takers:
+        print(f"  {taker} absorbed {zone}")
+    print(render_can(overlay, resolution=24))
+
+
+def chord_tour() -> None:
+    print()
+    print("=" * 64)
+    print("Chord: the same keys, identifier-ring routing")
+    print("=" * 64)
+    overlay = ChordOverlay.build([f"peer-{i}" for i in range(16)], bits=16)
+    ring = sorted(
+        (overlay.ring_position(n), n) for n in overlay.node_ids()
+    )
+    print("Ring (position: node):")
+    for position, name in ring:
+        print(f"  {position:>6d}: {name}")
+
+    key = "music/track-42.mp3"
+    authority = overlay.authority(key)
+    print(f"\nKey {key!r} -> position {overlay.key_position(key)} "
+          f"-> authority {authority}")
+    start = ring[0][1] if ring[0][1] != authority else ring[1][1]
+    route = overlay.route(start, key)
+    print(f"Finger route from {start} ({len(route) - 1} hops):")
+    print("  " + " -> ".join(map(str, route)))
+
+
+def tree_tour() -> None:
+    print()
+    print("=" * 64)
+    print("The CUP tree both substrates induce (§2.10)")
+    print("=" * 64)
+    overlay = CanOverlay.perfect_grid(64)
+    key = "music/track-42.mp3"
+    tree = QueryTree.virtual(overlay, key)
+    print(f"Virtual query spanning tree on a 64-node grid: root "
+          f"{tree.root}, depth {tree.max_depth()}")
+    by_depth = {}
+    for node in tree.nodes:
+        by_depth.setdefault(tree.depth[node], []).append(node)
+    for depth in sorted(by_depth):
+        print(f"  depth {depth}: {len(by_depth[depth])} nodes")
+    print("\nQueries climb this tree; updates cascade down exactly its "
+          "edges — that is CUP.")
+
+
+def main() -> None:
+    can_tour()
+    chord_tour()
+    tree_tour()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""CUP: Controlled Update Propagation in Peer-to-Peer Networks.
+
+A complete reproduction of Roussopoulos & Baker's CUP (arXiv cs.NI/0202008,
+USENIX 2003): the CUP cache-maintenance protocol, the structured-overlay
+substrates it runs on (a 2-D CAN and a Chord ring), a deterministic
+discrete-event simulator, the content replica model, workload generators,
+metrics matching the paper's hop-count cost model, and an experiment
+harness that regenerates every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import CupConfig, CupNetwork
+>>> config = CupConfig(num_nodes=64, query_rate=5.0, seed=7,
+...                    query_start=60.0, query_duration=300.0, drain=60.0)
+>>> cup = CupNetwork(config).run()
+>>> std = CupNetwork(config.variant(mode="standard")).run()
+>>> cup.miss_cost < std.miss_cost
+True
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+table/figure reproductions.
+"""
+
+from repro.core.cache import KeyState, NodeCache
+from repro.core.channels import CapacityConfig, OutgoingUpdateChannels
+from repro.core.costmodel import (
+    break_even_justified_fraction,
+    expected_update_value,
+    justification_probability,
+    saved_miss_overhead_ratio,
+    standard_caching_miss_cost,
+)
+from repro.core.entry import IndexEntry
+from repro.core.messages import (
+    ClearBitMessage,
+    QueryMessage,
+    ReplicaEvent,
+    ReplicaMessage,
+    UpdateMessage,
+    UpdateType,
+)
+from repro.core.node import CupNode
+from repro.core.policies import (
+    AllOutPolicy,
+    CutoffPolicy,
+    LinearPolicy,
+    LogarithmicPolicy,
+    LogBasedPolicy,
+    SecondChancePolicy,
+    make_policy,
+)
+from repro.core.protocol import CupConfig, CupNetwork
+from repro.core.trees import QueryTree
+from repro.metrics.collector import MetricsCollector, MetricsSummary
+from repro.overlay.base import Overlay, RoutingError
+from repro.overlay.can import CanOverlay, Zone
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.pastry import PastryOverlay
+from repro.replicas.authority import AuthorityIndex
+from repro.replicas.replica import Replica, ReplicaSet
+from repro.sim.engine import Simulator
+from repro.sim.network import Transport
+from repro.sim.random import RandomStreams
+from repro.workload.faults import (
+    CapacityFaultSchedule,
+    once_down_always_down,
+    up_and_down,
+)
+from repro.workload.generator import QueryWorkload
+from repro.workload.keyspace import FlashCrowdKeys, UniformKeys, ZipfKeys
+from repro.workload.tracefile import QueryTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllOutPolicy",
+    "AuthorityIndex",
+    "CanOverlay",
+    "CapacityConfig",
+    "CapacityFaultSchedule",
+    "ChordOverlay",
+    "ClearBitMessage",
+    "CupConfig",
+    "CupNetwork",
+    "CupNode",
+    "CutoffPolicy",
+    "FlashCrowdKeys",
+    "IndexEntry",
+    "KeyState",
+    "LinearPolicy",
+    "LogBasedPolicy",
+    "LogarithmicPolicy",
+    "MetricsCollector",
+    "MetricsSummary",
+    "NodeCache",
+    "OutgoingUpdateChannels",
+    "Overlay",
+    "PastryOverlay",
+    "QueryMessage",
+    "QueryTrace",
+    "QueryTree",
+    "QueryWorkload",
+    "RandomStreams",
+    "Replica",
+    "ReplicaEvent",
+    "ReplicaMessage",
+    "ReplicaSet",
+    "RoutingError",
+    "SecondChancePolicy",
+    "Simulator",
+    "Transport",
+    "UniformKeys",
+    "UpdateMessage",
+    "UpdateType",
+    "Zone",
+    "ZipfKeys",
+    "break_even_justified_fraction",
+    "expected_update_value",
+    "justification_probability",
+    "make_policy",
+    "once_down_always_down",
+    "saved_miss_overhead_ratio",
+    "standard_caching_miss_cost",
+    "up_and_down",
+]

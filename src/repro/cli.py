@@ -1,0 +1,162 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig3 [--scale small|paper|tiny] [--seed N]
+    python -m repro run all --scale small
+    python -m repro quickstart
+
+Each experiment prints its table (mirroring the paper's layout) followed
+by a PASS/FAIL checklist of the paper's qualitative shape claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.capacity import run_capacity
+from repro.experiments.config import resolve_scale
+from repro.experiments.cutoff_policies import run_cutoff_policies
+from repro.experiments.justification import run_justification
+from repro.experiments.network_size import run_network_size
+from repro.experiments.push_level import run_push_level
+from repro.experiments.replicas_sweep import run_replicas_sweep
+
+Runner = Callable[..., ExperimentResult]
+
+EXPERIMENTS: Dict[str, tuple[str, Callable]] = {
+    "fig3": (
+        "Total and miss cost vs push level, low query rates (§3.3)",
+        lambda scale, seed: run_push_level(
+            scale, paper_rates=(1.0, 10.0), seed=seed
+        ),
+    ),
+    "fig4": (
+        "Total and miss cost vs push level, high query rates (§3.3)",
+        lambda scale, seed: run_push_level(
+            scale, paper_rates=(100.0, 1000.0), seed=seed,
+            log_scale_figure=True,
+        ),
+    ),
+    "table1": (
+        "Total cost for varying cut-off policies (§3.4)",
+        lambda scale, seed: run_cutoff_policies(scale, seed=seed),
+    ),
+    "table2": (
+        "CUP vs standard caching across network sizes (§3.5)",
+        lambda scale, seed: run_network_size(scale, seed=seed),
+    ),
+    "table3": (
+        "Multiple replicas per key, naive vs fixed cut-off (§3.6)",
+        lambda scale, seed: run_replicas_sweep(scale, seed=seed),
+    ),
+    "fig5": (
+        "Total cost vs reduced capacity, λ=1 (§3.7)",
+        lambda scale, seed: run_capacity(scale, paper_rate=1.0, seed=seed),
+    ),
+    "fig6": (
+        "Total cost vs reduced capacity, high rate (§3.7)",
+        lambda scale, seed: run_capacity(
+            scale, paper_rate=min(1000.0, scale.max_rate), seed=seed,
+            log_scale_figure=True,
+        ),
+    ),
+    "justification": (
+        "Justified-update economics vs query rate (§3.1)",
+        lambda scale, seed: run_justification(scale, seed=seed),
+    ),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Available experiments (paper artifact -> harness):\n")
+    for name, (description, _) in EXPERIMENTS.items():
+        print(f"  {name:8s} {description}")
+    print("\nRun one with: python -m repro run <name> [--scale small|paper]")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    scale = resolve_scale(args.scale)
+    status = 0
+    for name in names:
+        _, runner = EXPERIMENTS[name]
+        started = time.time()
+        result = runner(scale, args.seed)
+        elapsed = time.time() - started
+        print(result.report())
+        print(f"({name} completed in {elapsed:.1f}s at scale={scale.name})\n")
+        if not result.all_expectations_hold():
+            status = 1
+    return status
+
+
+def _cmd_quickstart(_args: argparse.Namespace) -> int:
+    from repro import CupConfig, CupNetwork
+
+    config = CupConfig(
+        num_nodes=64, total_keys=1, query_rate=2.0, seed=7,
+        entry_lifetime=100.0, query_start=200.0, query_duration=1000.0,
+        drain=200.0,
+    )
+    cup = CupNetwork(config).run()
+    std = CupNetwork(config.variant(mode="standard")).run()
+    print("64-node CAN, one key, λ=2 q/s, 10 refresh cycles:")
+    print(f"  CUP:      miss cost {cup.miss_cost:6d}  overhead "
+          f"{cup.overhead_cost:6d}  total {cup.total_cost:6d}  "
+          f"miss latency {cup.miss_latency:.2f} hops")
+    print(f"  standard: miss cost {std.miss_cost:6d}  overhead "
+          f"{std.overhead_cost:6d}  total {std.total_cost:6d}  "
+          f"miss latency {std.miss_latency:.2f} hops")
+    print(f"  CUP saves {std.miss_cost - cup.miss_cost} miss hops at "
+          f"{cup.overhead_cost} overhead hops "
+          f"({cup.saved_miss_ratio(std):.2f} saved per overhead hop)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CUP (Roussopoulos & Baker) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list available experiments")
+    list_parser.set_defaults(fn=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run an experiment")
+    run_parser.add_argument(
+        "experiment", help=f"one of: {', '.join(EXPERIMENTS)}, or 'all'"
+    )
+    run_parser.add_argument(
+        "--scale", default=None, choices=["tiny", "small", "paper"],
+        help="parameter preset (default: $REPRO_SCALE or 'small')",
+    )
+    run_parser.add_argument("--seed", type=int, default=42)
+    run_parser.set_defaults(fn=_cmd_run)
+
+    quick_parser = sub.add_parser(
+        "quickstart", help="tiny CUP vs standard caching comparison"
+    )
+    quick_parser.set_defaults(fn=_cmd_quickstart)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""The CUP protocol — the paper's primary contribution.
+
+Controlled Update Propagation (CUP) maintains caches of index entries at
+the intermediate nodes of a structured peer-to-peer overlay.  Queries for
+a key travel *up* query channels toward the key's authority node; updates
+(query responses, refreshes, deletes, appends) travel *down* update
+channels along the reverse query paths.  Light per-node bookkeeping — a
+Pending-First-Update flag and an interest bit vector per key — coalesces
+query bursts and confines update propagation to nodes that want it, and
+incentive-based cut-off policies decide when a node stops receiving
+updates for a key.
+
+Modules
+-------
+``entry``
+    Index entries: (key, value) pairs with lifetimes and timestamps.
+``messages``
+    Queries, the four update types, clear-bit control messages.
+``cache``
+    Per-key node state: cached entries, PFU flag, interest bits,
+    popularity bookkeeping.
+``policies``
+    Cut-off policies: all-out/push-level, linear, logarithmic, log-based,
+    second-chance (§3.4).
+``channels``
+    Outgoing update channels with adaptive capacity control (§2.8).
+``node``
+    The CUP node state machine (§2.5-2.7) and authority behaviour.
+``protocol``
+    Network assembly: configuration, wiring of overlay + replicas +
+    workload + metrics, churn operations (§2.9).
+``trees``
+    Virtual/real query tree construction (§3.1).
+``costmodel``
+    The analytical cost model: justification probabilities, break-even
+    analysis (§3.1).
+"""
+
+from repro.core.cache import KeyState, NodeCache
+from repro.core.channels import CapacityConfig, OutgoingUpdateChannels
+from repro.core.costmodel import (
+    break_even_justified_fraction,
+    justification_probability,
+    standard_caching_miss_cost,
+)
+from repro.core.entry import IndexEntry
+from repro.core.messages import (
+    ClearBitMessage,
+    QueryMessage,
+    ReplicaEvent,
+    ReplicaMessage,
+    UpdateMessage,
+    UpdateType,
+)
+from repro.core.node import CupNode
+from repro.core.policies import (
+    AllOutPolicy,
+    CutoffPolicy,
+    LinearPolicy,
+    LogarithmicPolicy,
+    LogBasedPolicy,
+    SecondChancePolicy,
+    make_policy,
+)
+from repro.core.protocol import CupConfig, CupNetwork
+from repro.core.trees import QueryTree
+
+__all__ = [
+    "AllOutPolicy",
+    "CapacityConfig",
+    "ClearBitMessage",
+    "CupConfig",
+    "CupNetwork",
+    "CupNode",
+    "CutoffPolicy",
+    "IndexEntry",
+    "KeyState",
+    "LinearPolicy",
+    "LogBasedPolicy",
+    "LogarithmicPolicy",
+    "NodeCache",
+    "OutgoingUpdateChannels",
+    "QueryMessage",
+    "QueryTree",
+    "ReplicaEvent",
+    "ReplicaMessage",
+    "SecondChancePolicy",
+    "UpdateMessage",
+    "UpdateType",
+    "break_even_justified_fraction",
+    "justification_probability",
+    "make_policy",
+    "standard_caching_miss_cost",
+]

@@ -1,0 +1,261 @@
+"""Per-node, per-key CUP bookkeeping (§2.3 of the paper).
+
+At each node, index entries are grouped by key.  For every key a node has
+seen, it keeps:
+
+* the cached index entries themselves (disjoint from the node's local
+  index directory — authority-owned entries live in
+  :class:`repro.replicas.authority.AuthorityIndex`);
+* a Pending-First-Update flag that coalesces query bursts;
+* an interest bit vector — here a set of neighbor ids — recording which
+  neighbors want updates;
+* the number of open local client connections awaiting an answer;
+* a popularity measure (queries since the last cut-off-relevant update);
+* per-key mutable state for the cut-off policy (e.g. second-chance
+  strikes);
+* a cached upstream parent (the overlay next hop), invalidated by
+  overlay epoch bumps after churn.
+
+The paper notes this bookkeeping "involves no network overhead" and is
+negligible next to the query-latency savings; accordingly nothing in this
+module touches the transport.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional, Set
+
+from repro.core.entry import IndexEntry
+from repro.sim.network import NodeId
+
+
+class KeyState:
+    """Everything one node tracks about one non-local key."""
+
+    __slots__ = (
+        "key",
+        "entries",
+        "pending_first_update",
+        "pending_since",
+        "interest",
+        "waiting",
+        "local_waiters",
+        "popularity",
+        "policy_state",
+        "parent",
+        "parent_epoch",
+        "distance",
+        "distance_epoch",
+        "designated_replica",
+        "clear_bit_sent",
+        "justification_deadlines",
+    )
+
+    #: Cap on retained justification windows per key; refreshes arrive at
+    #: most once per lifetime per replica, so this never truncates in
+    #: practice — it is a guard against pathological configurations.
+    MAX_JUSTIFICATION_WINDOWS = 64
+
+    def __init__(self, key: str):
+        self.key = key
+        self.entries: Dict[str, IndexEntry] = {}
+        self.pending_first_update = False
+        self.pending_since = 0.0
+        self.interest: Set[NodeId] = set()
+        # Neighbors owed a first-time response: the subset of `interest`
+        # whose queries were coalesced behind the current PFU.  First-time
+        # updates fan out to these; maintenance updates fan out to all of
+        # `interest`.  Keeping them separate prevents a response from
+        # being broadcast to long-subscribed neighbors that asked nothing.
+        self.waiting: Set[NodeId] = set()
+        self.local_waiters = 0
+        self.popularity = 0
+        self.policy_state: Any = None
+        self.parent: Optional[NodeId] = None
+        self.parent_epoch = -1
+        self.distance = -1
+        self.distance_epoch = -1
+        self.designated_replica: Optional[str] = None
+        self.clear_bit_sent = False
+        self.justification_deadlines: Deque[float] = deque()
+
+    # ------------------------------------------------------------------
+    # Entry freshness
+    # ------------------------------------------------------------------
+
+    def fresh_entries(self, now: float) -> List[IndexEntry]:
+        """The cached entries still usable to answer queries at ``now``."""
+        return [e for e in self.entries.values() if e.is_fresh(now)]
+
+    def has_fresh(self, now: float) -> bool:
+        """Whether at least one cached entry is fresh (§2.5 case 1)."""
+        for entry in self.entries.values():
+            if entry.is_fresh(now):
+                return True
+        return False
+
+    def all_expired(self, now: float) -> bool:
+        """Whether the key is cached but unusable (§2.5 case 3)."""
+        return bool(self.entries) and not self.has_fresh(now)
+
+    def purge_expired(self, now: float) -> int:
+        """Drop expired entries; returns how many were removed."""
+        stale = [rid for rid, e in self.entries.items() if not e.is_fresh(now)]
+        for rid in stale:
+            del self.entries[rid]
+        return len(stale)
+
+    def apply_entry(self, entry: IndexEntry) -> bool:
+        """Insert or refresh one entry, respecting sequence numbers.
+
+        Returns ``False`` when the cache already holds a same-or-newer
+        version for that replica (an out-of-order or duplicate update),
+        ``True`` when the entry was stored.
+        """
+        current = self.entries.get(entry.replica_id)
+        if current is not None and current.sequence >= entry.sequence:
+            return False
+        self.entries[entry.replica_id] = entry
+        return True
+
+    def remove_entry(self, replica_id: str) -> bool:
+        """Delete the entry for ``replica_id`` if present."""
+        return self.entries.pop(replica_id, None) is not None
+
+    # ------------------------------------------------------------------
+    # Interest bookkeeping
+    # ------------------------------------------------------------------
+
+    def register_interest(self, neighbor: NodeId) -> None:
+        """Set the neighbor's interest bit (it asked about this key)."""
+        self.interest.add(neighbor)
+
+    def clear_interest(self, neighbor: NodeId) -> bool:
+        """Clear the neighbor's interest bit; True if it was set."""
+        if neighbor in self.interest:
+            self.interest.discard(neighbor)
+            return True
+        return False
+
+    def drop_departed_neighbors(self, alive: Set[NodeId]) -> None:
+        """Patch the bit vector after churn (§2.9): keep only live nodes."""
+        self.interest &= alive
+        self.waiting &= alive
+
+    # ------------------------------------------------------------------
+    # Justification accounting (§3.1)
+    # ------------------------------------------------------------------
+
+    def record_justification_window(self, deadline: float) -> None:
+        """Remember that an update applied here must see a query by
+        ``deadline`` to be justified."""
+        if len(self.justification_deadlines) < self.MAX_JUSTIFICATION_WINDOWS:
+            self.justification_deadlines.append(deadline)
+
+    def settle_justification(self, now: float) -> tuple[int, int]:
+        """Resolve pending windows against a query arriving at ``now``.
+
+        Returns ``(justified, unjustified)``: windows still open at
+        ``now`` are justified by this query; windows that closed before
+        ``now`` went unjustified.
+        """
+        justified = 0
+        unjustified = 0
+        while self.justification_deadlines:
+            deadline = self.justification_deadlines.popleft()
+            if deadline >= now:
+                justified += 1
+            else:
+                unjustified += 1
+        return justified, unjustified
+
+    def expire_justification(self, now: float) -> int:
+        """Count (and drop) windows that closed before ``now`` unseen."""
+        expired = 0
+        while self.justification_deadlines and self.justification_deadlines[0] < now:
+            self.justification_deadlines.popleft()
+            expired += 1
+        return expired
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def is_discardable(self, now: float) -> bool:
+        """Whether the state carries no information worth keeping.
+
+        True when every entry has expired and nothing is pending: no
+        interested neighbor, no waiting local client, no outstanding
+        upstream query.
+        """
+        return (
+            not self.pending_first_update
+            and not self.interest
+            and not self.waiting
+            and self.local_waiters == 0
+            and not self.has_fresh(now)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KeyState({self.key!r}, entries={len(self.entries)}, "
+            f"pfu={self.pending_first_update}, interest={len(self.interest)}, "
+            f"pop={self.popularity})"
+        )
+
+
+class NodeCache:
+    """All per-key CUP state held by one node.
+
+    Thin dict wrapper; it exists so garbage collection, churn patching
+    and statistics have one owner, and so the node logic reads naturally
+    (``cache.get_or_create(key)``).
+    """
+
+    __slots__ = ("states",)
+
+    def __init__(self) -> None:
+        self.states: Dict[str, KeyState] = {}
+
+    def get(self, key: str) -> Optional[KeyState]:
+        return self.states.get(key)
+
+    def get_or_create(self, key: str) -> KeyState:
+        state = self.states.get(key)
+        if state is None:
+            state = KeyState(key)
+            self.states[key] = state
+        return state
+
+    def discard(self, key: str) -> None:
+        self.states.pop(key, None)
+
+    def gc(self, now: float) -> int:
+        """Drop expired entries and stateless keys; returns keys removed.
+
+        Run periodically by long simulations to bound memory; correctness
+        never depends on it because freshness is always checked at use.
+        """
+        removed = []
+        for key, state in self.states.items():
+            state.purge_expired(now)
+            if state.is_discardable(now):
+                removed.append(key)
+        for key in removed:
+            del self.states[key]
+        return len(removed)
+
+    def patch_interest_after_churn(self, alive: Set[NodeId]) -> None:
+        """§2.9: drop departed neighbors from every interest bit vector."""
+        for state in self.states.values():
+            state.drop_departed_neighbors(alive)
+
+    def __iter__(self) -> Iterator[KeyState]:
+        return iter(self.states.values())
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.states

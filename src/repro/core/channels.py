@@ -1,0 +1,287 @@
+"""Outgoing update channels with adaptive capacity control (§2.8).
+
+Every CUP node keeps one logical update channel per neighbor.  Under full
+capacity an update eligible for forwarding is sent immediately.  Under
+limited capacity the paper's mechanism applies:
+
+* the node's outgoing capacity ``U`` (updates per second) is divided
+  among its channels in proportion to queue length, which keeps the
+  queues roughly equally sized — implemented here by always serving the
+  longest queue;
+* while updates wait, each channel reorders its queue so updates with the
+  greatest impact go first: by default first-time > delete > refresh >
+  append, and within a type, entries closest to expiring first (they are
+  the ones about to cause freshness misses);
+* expired updates are eliminated during reordering, so queues are
+  bounded by the entry lifetimes even if a channel is shut for a long
+  time.
+
+Two capacity knobs exist because the paper uses two notions:
+
+* ``rate`` — the §2.8 architecture: a token-rate pump draining queues.
+* ``fraction`` — the §3.7 experiments: "a reduced capacity c = .25 means
+  a node is only pushing out one-fourth the updates it receives";
+  implemented as probabilistic forwarding with probability ``c``.
+
+First-time updates (query responses) are exempt from the ``fraction``
+filter: the paper's degraded mode is *standard caching*, which still
+answers queries — only cache maintenance decays.  Under ``rate`` they
+share the pump but at the highest priority, as §2.8 prescribes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.messages import UpdateMessage, UpdateType
+from repro.sim.engine import Simulator
+from repro.sim.network import NodeId
+
+
+class CapacityConfig:
+    """Capacity settings for one node's outgoing update channels.
+
+    Parameters
+    ----------
+    fraction:
+        Probability of forwarding each eligible maintenance update
+        (first-time updates bypass this).  1.0 = full capacity; 0.0 =
+        the node pushes no maintenance updates at all, degrading its
+        subtree to standard caching.
+    rate:
+        Maximum updates per second pushed across all channels, or
+        ``None`` for unlimited.  When set, updates queue per neighbor and
+        a pump drains them longest-queue-first with priority reordering.
+    """
+
+    __slots__ = ("fraction", "rate")
+
+    def __init__(self, fraction: float = 1.0, rate: Optional[float] = None):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive or None, got {rate}")
+        self.fraction = fraction
+        self.rate = rate
+
+    def unlimited(self) -> bool:
+        """Whether this configuration imposes no constraint at all."""
+        return self.fraction >= 1.0 and self.rate is None
+
+    def __repr__(self) -> str:
+        return f"CapacityConfig(fraction={self.fraction}, rate={self.rate})"
+
+
+class _QueuedUpdate:
+    """Heap element: priority-ordered pending update for one channel."""
+
+    __slots__ = ("priority", "expiry", "seq", "update")
+
+    def __init__(self, priority: int, expiry: float, seq: int,
+                 update: UpdateMessage):
+        self.priority = priority
+        self.expiry = expiry
+        self.seq = seq
+        self.update = update
+
+    def __lt__(self, other: "_QueuedUpdate") -> bool:
+        # Higher update classes first; within a class, nearest expiry
+        # first (the paper: push what is about to cause freshness misses);
+        # FIFO as the final tie-break for determinism.
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        if self.expiry != other.expiry:
+            return self.expiry < other.expiry
+        return self.seq < other.seq
+
+
+#: Priority table for latency/accuracy-first applications (§2.8's
+#: default ordering).  Lower = pushed sooner.
+DEFAULT_PRIORITIES: Dict[UpdateType, int] = {
+    UpdateType.FIRST_TIME: 0,
+    UpdateType.DELETE: 1,
+    UpdateType.REFRESH: 2,
+    UpdateType.APPEND: 3,
+}
+
+#: §2.8: "In an application subject to flash crowds that query for a
+#: particular item, appends might be given higher priority over the
+#: other updates.  This would help distribute the load faster across the
+#: entire set of replicas."
+FLASH_CROWD_PRIORITIES: Dict[UpdateType, int] = {
+    UpdateType.FIRST_TIME: 0,
+    UpdateType.APPEND: 1,
+    UpdateType.DELETE: 2,
+    UpdateType.REFRESH: 3,
+}
+
+PRIORITY_PROFILES: Dict[str, Dict[UpdateType, int]] = {
+    "latency": DEFAULT_PRIORITIES,
+    "flash-crowd": FLASH_CROWD_PRIORITIES,
+}
+
+
+class OutgoingUpdateChannels:
+    """All outgoing update channels of one node, plus the capacity pump.
+
+    Parameters
+    ----------
+    sim:
+        Event engine (drives the rate pump).
+    send_fn:
+        Callback ``(neighbor_id, update) -> None`` that puts one update on
+        the wire; supplied by the owning node.
+    capacity:
+        Initial :class:`CapacityConfig`; replaceable at runtime via
+        :meth:`set_capacity` (the §3.7 fault injections do exactly that).
+    rng:
+        Random generator for the fractional-capacity coin flips.
+    priorities:
+        Optional override of the type-priority table.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send_fn: Callable[[NodeId, UpdateMessage], None],
+        capacity: Optional[CapacityConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        priorities: Optional[Dict[UpdateType, int]] = None,
+    ):
+        self._sim = sim
+        self._send = send_fn
+        self.capacity = capacity or CapacityConfig()
+        self._rng = rng
+        self._priorities = priorities or DEFAULT_PRIORITIES
+        self._queues: Dict[NodeId, List[_QueuedUpdate]] = {}
+        self._seq = itertools.count()
+        self._pump_scheduled = False
+        self._pump_event = None
+        # Statistics (read by metrics and tests).
+        self.forwarded = 0
+        self.suppressed = 0
+        self.expired_in_queue = 0
+
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+
+    def set_capacity(self, capacity: CapacityConfig) -> None:
+        """Change capacity at runtime (fault injection / recovery).
+
+        Raising capacity restarts the pump so queued updates drain at the
+        new rate; queued updates are never lost by a capacity change
+        (they expire or get pushed).
+        """
+        self.capacity = capacity
+        if capacity.rate is not None and self._pending():
+            # Re-pace the pump at the new rate immediately; the stale
+            # schedule would otherwise linger at the old pace.
+            if self._pump_event is not None:
+                self._pump_event.cancel()
+                self._pump_scheduled = False
+            self._schedule_pump()
+        if capacity.rate is None:
+            self._flush_all()
+
+    # ------------------------------------------------------------------
+    # Enqueue / send
+    # ------------------------------------------------------------------
+
+    def push(self, neighbor: NodeId, update: UpdateMessage) -> bool:
+        """Offer one update to the channel toward ``neighbor``.
+
+        Returns ``True`` if the update was sent or queued, ``False`` if
+        capacity suppressed it.
+        """
+        first_time = update.update_type == UpdateType.FIRST_TIME
+        if not first_time and self.capacity.fraction < 1.0:
+            if self._rng is None:
+                raise RuntimeError(
+                    "fractional capacity requires an rng; pass one at "
+                    "construction"
+                )
+            if self._rng.random() >= self.capacity.fraction:
+                self.suppressed += 1
+                return False
+        if self.capacity.rate is None:
+            self._send(neighbor, update)
+            self.forwarded += 1
+            return True
+        queued = _QueuedUpdate(
+            self._priorities[update.update_type],
+            update.carried_expiry() or float("inf"),
+            next(self._seq),
+            update,
+        )
+        heapq.heappush(self._queues.setdefault(neighbor, []), queued)
+        if not self._pump_scheduled:
+            self._schedule_pump()
+        return True
+
+    # ------------------------------------------------------------------
+    # Rate pump
+    # ------------------------------------------------------------------
+
+    def _pending(self) -> bool:
+        return any(self._queues.values())
+
+    def queue_length(self, neighbor: NodeId) -> int:
+        """Pending updates toward ``neighbor`` (includes not-yet-purged
+        expired ones)."""
+        return len(self._queues.get(neighbor, ()))
+
+    def _schedule_pump(self) -> None:
+        rate = self.capacity.rate
+        if rate is None:
+            return
+        self._pump_scheduled = True
+        self._pump_event = self._sim.schedule(1.0 / rate, self._pump_once)
+
+    def _pump_once(self) -> None:
+        self._pump_scheduled = False
+        now = self._sim.now
+        # Proportional sharing: always serve the longest queue, which is
+        # the discrete equivalent of giving each channel a share of U
+        # proportional to its backlog (ties broken by id for determinism).
+        target: Optional[NodeId] = None
+        target_len = 0
+        for neighbor, queue in self._queues.items():
+            self._drop_expired(queue, now)
+            if len(queue) > target_len or (
+                len(queue) == target_len and target is not None
+                and queue and str(neighbor) < str(target)
+            ):
+                target = neighbor
+                target_len = len(queue)
+        if target is None or target_len == 0:
+            return
+        queued = heapq.heappop(self._queues[target])
+        self._send(target, queued.update)
+        self.forwarded += 1
+        if self._pending():
+            self._schedule_pump()
+
+    def _drop_expired(self, queue: List[_QueuedUpdate], now: float) -> None:
+        """Eliminate expired updates during reordering (§2.8)."""
+        if not queue:
+            return
+        live = [q for q in queue if not q.update.is_expired(now)]
+        if len(live) != len(queue):
+            self.expired_in_queue += len(queue) - len(live)
+            queue[:] = live
+            heapq.heapify(queue)
+
+    def _flush_all(self) -> None:
+        """Send everything queued (capacity became unlimited)."""
+        now = self._sim.now
+        for neighbor, queue in self._queues.items():
+            self._drop_expired(queue, now)
+            while queue:
+                queued = heapq.heappop(queue)
+                self._send(neighbor, queued.update)
+                self.forwarded += 1

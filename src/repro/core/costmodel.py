@@ -1,0 +1,122 @@
+"""The economic cost model of §3.1.
+
+CUP's central argument is an accounting identity: pushing an update one
+hop costs one hop of network traffic, and saves exactly two hops (one up,
+one down) for the first query that would otherwise have missed within the
+update's critical window ``T``.  An update is **justified** when such a
+query arrives; a justified update therefore returns twice its cost, which
+is why CUP breaks even as long as at least half of all pushed updates are
+justified.
+
+With Poisson query arrivals this becomes quantitative: if queries for a
+key arrive at each node ``i`` of the virtual subtree below node ``N``
+at rate ``lambda_i``, arrivals at the whole subtree form a Poisson
+process with rate ``Lambda = sum(lambda_i)``, and the probability that an
+update pushed to ``N`` is justified is ``1 - exp(-Lambda * T)``.
+
+These functions are exercised by the property-based tests and by the
+``examples/cost_model_analysis.py`` walkthrough; the simulator measures
+the same quantities empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+#: Per the paper: a query saved by a pushed update would have cost one
+#: hop up and one hop down, so each pushed hop recovers two.
+HOPS_SAVED_PER_JUSTIFIED_HOP = 2.0
+
+
+def justification_probability(aggregate_rate: float, window: float) -> float:
+    """Probability that an update is justified (§3.1).
+
+    Parameters
+    ----------
+    aggregate_rate:
+        ``Lambda`` — the summed Poisson query rate over the virtual
+        subtree rooted at the receiving node, in queries per second.
+    window:
+        ``T`` — the critical interval during which a query must arrive
+        for the update to recover its cost.  ``math.inf`` (first-time
+        updates) yields probability 1.
+
+    >>> round(justification_probability(1.0, 6.0), 2)  # paper's example
+    0.99
+    """
+    if aggregate_rate < 0:
+        raise ValueError(f"aggregate rate must be >= 0, got {aggregate_rate}")
+    if window < 0:
+        raise ValueError(f"window must be >= 0, got {window}")
+    if math.isinf(window) and aggregate_rate > 0:
+        return 1.0
+    return 1.0 - math.exp(-aggregate_rate * window)
+
+
+def subtree_aggregate_rate(per_node_rates: Iterable[float]) -> float:
+    """``Lambda`` for a subtree: Poisson superposition sums the rates."""
+    total = 0.0
+    for rate in per_node_rates:
+        if rate < 0:
+            raise ValueError(f"negative per-node rate: {rate}")
+        total += rate
+    return total
+
+
+def standard_caching_miss_cost(distance: int, answered_at: int | None = None) -> int:
+    """Hops to answer a first miss at distance ``D`` under standard caching.
+
+    ``2 * D`` when the query travels all the way to the authority;
+    ``2 * answered_at`` when a fresh intermediate cache at that distance
+    from the querying node answers first (§3.1).
+    """
+    if distance < 0:
+        raise ValueError(f"distance must be >= 0, got {distance}")
+    if answered_at is None:
+        return 2 * distance
+    if not 0 <= answered_at <= distance:
+        raise ValueError(
+            f"answered_at must be within [0, {distance}], got {answered_at}"
+        )
+    return 2 * answered_at
+
+
+def break_even_justified_fraction() -> float:
+    """Fraction of pushed updates that must be justified to recover all
+    propagation overhead.
+
+    Each justified update saves two hops per hop pushed; overhead is one
+    hop per hop pushed — so 50% justification makes CUP's overhead free
+    (§3.1: "As long as the number of justified updates is at least fifty
+    percent the total number of updates pushed, the overall update
+    overhead is completely recovered.").
+    """
+    return 1.0 / HOPS_SAVED_PER_JUSTIFIED_HOP
+
+
+def expected_update_value(aggregate_rate: float, window: float) -> float:
+    """Expected hops saved minus hops spent for one pushed update hop.
+
+    Positive whenever the justification probability exceeds the
+    break-even fraction; the "all-out push" strategy of §3.1 accepts
+    negative values in exchange for minimum latency.
+    """
+    p = justification_probability(aggregate_rate, window)
+    return p * HOPS_SAVED_PER_JUSTIFIED_HOP - 1.0
+
+
+def saved_miss_overhead_ratio(
+    miss_cost_standard: float, miss_cost_cup: float, overhead_cup: float
+) -> float:
+    """The paper's "investment return per update push" (§3.5).
+
+    ``(MissCostStandardCaching - MissCostCUP) / OverheadCostCUP``; infinite
+    when CUP incurred no overhead at all (then any saving is free).
+    """
+    if overhead_cup < 0 or miss_cost_standard < 0 or miss_cost_cup < 0:
+        raise ValueError("costs must be non-negative")
+    saved = miss_cost_standard - miss_cost_cup
+    if overhead_cup == 0:
+        return math.inf if saved > 0 else 0.0
+    return saved / overhead_cup

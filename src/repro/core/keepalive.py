@@ -1,0 +1,140 @@
+"""Neighbor keep-alive exchange and failure detection (§2.1).
+
+"Each node periodically exchanges keep-alive messages with its neighbors
+to confirm their existence and to trigger recovery mechanisms should one
+of the neighbors fail."
+
+A :class:`KeepAliveMonitor` runs on each node: it sends a keep-alive to
+every current overlay neighbor each period, treats *any* received
+traffic as proof of life (keep-alives effectively piggyback on protocol
+messages), and reports a neighbor as suspected once nothing has been
+heard for ``miss_threshold`` periods.  The network layer acts on the
+report by completing the failure: the overlay absorbs the dead node's
+zone and interest bit vectors get patched (§2.9's ungraceful departure).
+
+Until detection fires, the overlay still routes through the dead node —
+queries sent to it are dropped by the transport and recovered later by
+the Pending-First-Update timeout.  That window is the price of real
+failure detection, and tests measure it.
+
+Keep-alive traffic is control-plane: it has its own message kind, which
+the metrics collector does not count toward the paper's hop costs (the
+paper's cost model likewise excludes keep-alives, §2.3/§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Message, NodeId, Transport
+from repro.sim.process import PeriodicProcess
+
+NeighborsFn = Callable[[], Iterable[NodeId]]
+SuspectFn = Callable[[NodeId, NodeId], None]
+
+
+class KeepAliveMessage(Message):
+    """One heartbeat.  Not counted by the cost model."""
+
+    kind = "keepalive"
+    __slots__ = ()
+
+
+class KeepAliveMonitor:
+    """One node's heartbeat loop and neighbor liveness table.
+
+    Parameters
+    ----------
+    sim, transport:
+        Substrate; heartbeats ride the normal transport (and are
+        therefore subject to link delays and drops like any message).
+    node_id:
+        The owning node.
+    neighbors_fn:
+        Returns the node's *current* overlay neighbors (re-read every
+        period, so churn is honored).
+    period:
+        Seconds between heartbeats.
+    miss_threshold:
+        Consecutive silent periods before a neighbor is suspected.
+    on_suspect:
+        Callback ``(reporter, suspect)`` invoked once per suspicion
+        episode (re-armed if the suspect is heard again).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        node_id: NodeId,
+        neighbors_fn: NeighborsFn,
+        period: float,
+        miss_threshold: int,
+        on_suspect: SuspectFn,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if miss_threshold < 1:
+            raise ValueError(
+                f"miss_threshold must be >= 1, got {miss_threshold}"
+            )
+        self._sim = sim
+        self._transport = transport
+        self.node_id = node_id
+        self._neighbors_fn = neighbors_fn
+        self.period = period
+        self.miss_threshold = miss_threshold
+        self._on_suspect = on_suspect
+        self._last_heard: Dict[NodeId, float] = {}
+        self._suspected: set = set()
+        self._process: Optional[PeriodicProcess] = None
+        self.beats_sent = 0
+        self.suspicions_raised = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._process is not None:
+            return
+        now = self._sim.now
+        for neighbor in self._neighbors_fn():
+            self._last_heard.setdefault(neighbor, now)
+        self._process = PeriodicProcess(self._sim, self.period, self._tick)
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    # ------------------------------------------------------------------
+    # Liveness bookkeeping
+    # ------------------------------------------------------------------
+
+    def note_heard(self, sender: NodeId) -> None:
+        """Any message from ``sender`` proves it alive."""
+        self._last_heard[sender] = self._sim.now
+        self._suspected.discard(sender)
+
+    def _tick(self) -> None:
+        now = self._sim.now
+        deadline = self.period * self.miss_threshold
+        current = set(self._neighbors_fn())
+        # Forget ex-neighbors (churn rewired the overlay around them).
+        for stale in [n for n in self._last_heard if n not in current]:
+            del self._last_heard[stale]
+            self._suspected.discard(stale)
+        for neighbor in current:
+            self._transport.send(self.node_id, neighbor, KeepAliveMessage())
+            self.beats_sent += 1
+            last = self._last_heard.setdefault(neighbor, now)
+            if now - last > deadline and neighbor not in self._suspected:
+                self._suspected.add(neighbor)
+                self.suspicions_raised += 1
+                self._on_suspect(self.node_id, neighbor)
+
+    @property
+    def suspected(self) -> set:
+        return set(self._suspected)

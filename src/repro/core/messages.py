@@ -1,0 +1,212 @@
+"""CUP wire messages.
+
+Three message families travel over the overlay transport:
+
+* :class:`QueryMessage` — up the query channels, one hop at a time,
+  toward the authority node.
+* :class:`UpdateMessage` — down the update channels along reverse query
+  paths.  Four types (§2.4): first-time updates (query responses),
+  deletes, refreshes and appends.
+* :class:`ClearBitMessage` — up one hop, telling the upstream neighbor to
+  clear its interest bit for this node (§2.7).
+
+A fourth family, :class:`ReplicaMessage`, is the off-overlay control
+traffic from content replicas to authority nodes (birth, refresh,
+deletion — §2.1); it is delivered directly and never counted as overlay
+hops, matching the paper's cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.core.entry import IndexEntry
+from repro.sim.network import Message, NodeId
+
+
+class UpdateType(enum.IntEnum):
+    """The four update categories of §2.4, ordered by push priority (§2.8).
+
+    Lower value = higher priority when an update channel reorders its
+    queue under limited capacity: first-time updates carry query
+    responses, deletes prevent errors, refreshes prevent freshness
+    misses, appends add capacity.
+    """
+
+    FIRST_TIME = 0
+    DELETE = 1
+    REFRESH = 2
+    APPEND = 3
+
+
+class QueryMessage(Message):
+    """A search query for a key, forwarded hop-by-hop upstream.
+
+    ``path`` is ``None`` under CUP: queries carry no return-address state
+    because responses are routed by the interest bits (that is how CUP
+    solves the open-connection problem).  Under the standard-caching
+    baseline every query records the chain of nodes it traversed — the
+    open connections — and its response retraces exactly that chain.
+    """
+
+    kind = "query"
+    __slots__ = ("key", "path")
+
+    def __init__(self, key: str, path: Optional[Tuple["NodeId", ...]] = None):
+        super().__init__()
+        self.key = key
+        self.path = path
+
+    def __repr__(self) -> str:
+        return f"Query({self.key!r}, hops={self.hops})"
+
+
+class UpdateMessage(Message):
+    """An update for a key, pushed one hop downstream.
+
+    Parameters
+    ----------
+    key:
+        The key whose cached entries this update affects.
+    update_type:
+        One of :class:`UpdateType`.
+    entries:
+        The index entries carried: the full fresh set for first-time
+        updates, the refreshed/appended entry for refreshes/appends, and
+        the entry being removed for deletes (so downstream caches know
+        which replica's entry to drop and what its remaining lifetime
+        was — the justification window of §3.1).
+    replica_id:
+        The replica this update concerns, or ``None`` for first-time
+        updates (which aggregate all fresh replicas).  The
+        replica-independent cut-off fix of §3.6 keys off this field.
+    issued_at:
+        Simulation time the authority issued the update.
+    route:
+        ``None`` under CUP (responses fan out along interest bits).  For
+        the standard-caching baseline, the remaining reverse chain of the
+        query this response answers: each hop pops the last element,
+        caches the carried entries (path caching), and forwards to it.
+        An empty tuple means this node issued the query.
+    """
+
+    kind = "update"
+    __slots__ = (
+        "key", "update_type", "entries", "replica_id", "issued_at", "route",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        update_type: UpdateType,
+        entries: Tuple[IndexEntry, ...],
+        replica_id: Optional[str],
+        issued_at: float,
+        route: Optional[Tuple["NodeId", ...]] = None,
+    ):
+        super().__init__()
+        self.key = key
+        self.update_type = update_type
+        self.entries = entries
+        self.replica_id = replica_id
+        self.issued_at = issued_at
+        self.route = route
+
+    def carried_expiry(self) -> float:
+        """Latest expiration among carried entries (0.0 when empty).
+
+        An update whose carried entries have all expired in flight is
+        dropped on arrival (§2.6 case 3); channels also use this to
+        discard queued updates that expired while waiting.
+        """
+        return max((e.expires_at for e in self.entries), default=0.0)
+
+    def is_expired(self, now: float) -> bool:
+        """Whether every carried entry has expired by ``now``.
+
+        Deletes never expire in this sense when they carry no entry
+        payload; they are directives, not cacheable state.
+        """
+        if not self.entries:
+            return False
+        return all(not e.is_fresh(now) for e in self.entries)
+
+    def fork(self) -> "UpdateMessage":
+        """A fresh copy for forwarding to one more neighbor.
+
+        Messages accumulate per-link hop counts; forwarding the same
+        object down several branches of the CUP tree would conflate their
+        counters, so every branch gets its own copy (entries are shared —
+        they are immutable in practice once issued).
+        """
+        copy = UpdateMessage(
+            self.key, self.update_type, self.entries, self.replica_id,
+            self.issued_at, route=self.route,
+        )
+        copy.hops = self.hops
+        return copy
+
+    def __repr__(self) -> str:
+        return (
+            f"Update({self.update_type.name}, {self.key!r}, "
+            f"{len(self.entries)} entries, hops={self.hops})"
+        )
+
+
+class ClearBitMessage(Message):
+    """Tells the upstream neighbor: clear your interest bit for me (§2.7).
+
+    The paper allows piggy-backing these on queries or updates but its
+    overhead accounting assumes they travel separately (§3.3); we send
+    them separately for the same slightly-inflated accounting.
+    """
+
+    kind = "clear_bit"
+    __slots__ = ("key",)
+
+    def __init__(self, key: str):
+        super().__init__()
+        self.key = key
+
+    def __repr__(self) -> str:
+        return f"ClearBit({self.key!r})"
+
+
+class ReplicaEvent(enum.Enum):
+    """What a replica is telling its authority node (§2.1)."""
+
+    BIRTH = "birth"
+    REFRESH = "refresh"
+    DEATH = "death"
+
+
+class ReplicaMessage(Message):
+    """Off-overlay control message from a replica to an authority node.
+
+    Travels via :meth:`repro.sim.network.Transport.send_direct`: it is not
+    overlay traffic, costs no overlay hops, and is invisible to the cost
+    model — exactly as in the paper, where replica keep-alives are part of
+    the indexing substrate rather than of CUP.
+    """
+
+    kind = "replica"
+    __slots__ = ("event", "key", "replica_id", "address", "lifetime")
+
+    def __init__(
+        self,
+        event: ReplicaEvent,
+        key: str,
+        replica_id: str,
+        address: str,
+        lifetime: float,
+    ):
+        super().__init__()
+        self.event = event
+        self.key = key
+        self.replica_id = replica_id
+        self.address = address
+        self.lifetime = lifetime
+
+    def __repr__(self) -> str:
+        return f"Replica({self.event.value}, {self.key!r}, {self.replica_id!r})"

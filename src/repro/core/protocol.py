@@ -1,0 +1,534 @@
+"""Network assembly: configuration and full-system wiring.
+
+:class:`CupConfig` captures every input of the paper's simulator (§3.2):
+the number of nodes in the overlay, the number of keys owned per node,
+the distribution of queries for keys, the query inter-arrival
+distribution, the number of replicas per key, and the lifetime of
+replicas — plus the CUP-specific knobs (mode, cut-off policy, capacity,
+replica-independent cut-off).
+
+:class:`CupNetwork` builds the whole system from a config — simulator,
+transport, overlay, one :class:`~repro.core.node.CupNode` per member,
+the replica population and the query workload — and provides the churn
+operations of §2.9 (node joins with index handover, graceful and
+ungraceful departures) and the capacity fault hooks of §3.7.
+
+Protocol modes
+--------------
+``mode="cup"``
+    Full CUP: persistent interest bits, maintenance update propagation,
+    cut-off policy in force.
+``mode="standard"``
+    The baseline: standard caching with expiration times.  Queries are
+    forwarded individually over per-query open connections (no
+    coalescing), responses retrace the query path and populate the path
+    caches, and no maintenance update ever propagates; total cost equals
+    miss cost, exactly as the paper's push-level-0 equivalence.
+``mode="standard-coalescing"``
+    Ablation: standard caching plus CUP's query-coalescing machinery
+    (Pending-First-Update flags and interest-bit response fan-out) but
+    still no maintenance updates.  Isolates how much of CUP's win comes
+    from coalescing alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Union
+
+from repro.core.channels import PRIORITY_PROFILES, CapacityConfig
+from repro.core.node import CupNode
+from repro.core.policies import CutoffPolicy, make_policy
+from repro.metrics.collector import MetricsCollector, MetricsSummary
+from repro.overlay.base import NodeId, Overlay
+from repro.overlay.can import CanOverlay
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.pastry import PastryOverlay
+from repro.replicas.replica import ReplicaSet
+from repro.sim.engine import Simulator
+from repro.sim.network import Transport
+from repro.sim.random import RandomStreams
+from repro.sim.trace import Tracer
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.generator import QueryWorkload
+from repro.workload.keyspace import KeySelector, UniformKeys, ZipfKeys
+
+
+@dataclasses.dataclass
+class CupConfig:
+    """All simulation inputs; defaults mirror the paper's setup (§3.2)."""
+
+    # --- topology -----------------------------------------------------
+    num_nodes: int = 64
+    overlay_type: str = "can"          # "can" | "chord" | "pastry"
+    can_dims: int = 2
+    link_delay: float = 0.05           # one-way seconds per overlay hop
+    link_delay_jitter: float = 0.0     # +/- uniform per-link jitter (CAN)
+
+    # --- protocol -----------------------------------------------------
+    mode: str = "cup"      # "cup" | "standard" | "standard-coalescing"
+    policy: Union[CutoffPolicy, str] = "second-chance"
+    replica_independent_cutoff: bool = True
+    capacity_fraction: float = 1.0     # §3.7 fractional capacity
+    capacity_rate: Optional[float] = None  # §2.8 rate pump (updates/s)
+    pfu_timeout: float = 30.0
+    track_justification: bool = True
+    # §3.6 authority-side overhead-reduction techniques:
+    refresh_aggregation_window: Optional[float] = None
+    refresh_sample_fraction: float = 1.0
+    # §2.8 update-channel reordering profile under limited capacity:
+    # "latency" (first-time > delete > refresh > append) or
+    # "flash-crowd" (appends promoted to spread load across replicas).
+    priority_profile: str = "latency"
+
+    # --- content ------------------------------------------------------
+    keys_per_node: float = 1.0
+    total_keys: Optional[int] = None   # overrides keys_per_node when set
+    replicas_per_key: int = 1
+    entry_lifetime: float = 300.0      # the paper's replica lifetime
+    stagger_replicas: bool = True
+
+    # --- workload -----------------------------------------------------
+    query_rate: float = 1.0            # aggregate λ, queries/second
+    key_distribution: str = "uniform"  # "uniform" | "zipf"
+    zipf_s: float = 0.8
+    query_start: float = 600.0         # warm-up before the query phase
+    query_duration: float = 3000.0     # the paper's querying time
+    drain: float = 600.0               # post-query settling time
+
+    # --- housekeeping ---------------------------------------------------
+    seed: int = 42
+    gc_interval: Optional[float] = 300.0
+    failure_sweep_interval: Optional[float] = None
+    handover_entries: bool = True      # §2.9 index handover on churn
+    trace: bool = False
+
+    @property
+    def query_end(self) -> float:
+        return self.query_start + self.query_duration
+
+    @property
+    def sim_end(self) -> float:
+        return self.query_end + self.drain
+
+    def resolved_total_keys(self) -> int:
+        if self.total_keys is not None:
+            if self.total_keys < 1:
+                raise ValueError("total_keys must be >= 1")
+            return self.total_keys
+        return max(1, int(round(self.num_nodes * self.keys_per_node)))
+
+    def resolved_policy(self) -> CutoffPolicy:
+        if isinstance(self.policy, CutoffPolicy):
+            return self.policy
+        return make_policy(self.policy)
+
+    def validate(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.mode not in ("cup", "standard", "standard-coalescing"):
+            raise ValueError(f"unknown mode: {self.mode!r}")
+        if self.overlay_type not in ("can", "chord", "pastry"):
+            raise ValueError(f"unknown overlay_type: {self.overlay_type!r}")
+        if self.key_distribution not in ("uniform", "zipf"):
+            raise ValueError(
+                f"unknown key_distribution: {self.key_distribution!r}"
+            )
+        if self.entry_lifetime <= 0:
+            raise ValueError("entry_lifetime must be positive")
+        if self.query_rate <= 0:
+            raise ValueError("query_rate must be positive")
+        if not 0.0 <= self.capacity_fraction <= 1.0:
+            raise ValueError("capacity_fraction must be in [0, 1]")
+        if (
+            self.refresh_aggregation_window is not None
+            and self.refresh_aggregation_window <= 0
+        ):
+            raise ValueError(
+                "refresh_aggregation_window must be positive or None"
+            )
+        if not 0.0 < self.refresh_sample_fraction <= 1.0:
+            raise ValueError("refresh_sample_fraction must be in (0, 1]")
+        from repro.core.channels import PRIORITY_PROFILES
+
+        if self.priority_profile not in PRIORITY_PROFILES:
+            raise ValueError(
+                f"unknown priority_profile: {self.priority_profile!r}; "
+                f"choose from {sorted(PRIORITY_PROFILES)}"
+            )
+
+    def variant(self, **overrides) -> "CupConfig":
+        """A copy with fields replaced (workload seeds stay aligned)."""
+        return dataclasses.replace(self, **overrides)
+
+
+class CupNetwork:
+    """A fully wired CUP (or standard-caching) deployment.
+
+    Construction builds the overlay and nodes and schedules replica
+    births; :meth:`run` attaches the configured workload and drives the
+    simulation to ``config.sim_end``.  Lower-level entry points
+    (:meth:`post_query`, :meth:`run_until`) support tests, examples and
+    custom experiments.
+    """
+
+    def __init__(self, config: CupConfig):
+        config.validate()
+        self.config = config
+        self.policy = config.resolved_policy()
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.tracer = Tracer(enabled=config.trace)
+        self.transport = Transport(self.sim, default_delay=config.link_delay)
+        self.metrics = MetricsCollector()
+        self.transport.add_send_observer(self.metrics.on_send)
+
+        self.overlay = self._build_overlay()
+        self.keys = [f"k{i:05d}" for i in range(config.resolved_total_keys())]
+
+        # Keep-alive machinery (§2.1): off until enable_keepalive().
+        self._keepalive_settings = None
+        self._crashed: set = set()
+        #: (time, reporter, suspect) per completed failure detection.
+        self.failure_detections: List[tuple] = []
+
+        self.nodes: Dict[NodeId, CupNode] = {}
+        for node_id in self.overlay.node_ids():
+            self._create_node(node_id)
+        self._member_list: List[NodeId] = list(self.nodes)
+
+        if config.link_delay_jitter > 0:
+            self._register_jittered_links()
+
+        self.replicas = ReplicaSet(
+            self.sim,
+            self.transport,
+            self.overlay,
+            self.keys,
+            replicas_per_key=config.replicas_per_key,
+            lifetime=config.entry_lifetime,
+            rng=self.streams.get("replicas"),
+            stagger=config.stagger_replicas,
+        )
+        self.replicas.schedule_births(at=0.0)
+
+        self.workload: Optional[QueryWorkload] = None
+        if config.gc_interval:
+            self.sim.schedule(config.gc_interval, self._gc_tick)
+        if config.failure_sweep_interval:
+            self.sim.schedule(
+                config.failure_sweep_interval, self._failure_sweep_tick
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_overlay(self) -> Overlay:
+        config = self.config
+        if config.overlay_type == "can":
+            n = config.num_nodes
+            if n & (n - 1) == 0:
+                return CanOverlay.perfect_grid(n, dims=config.can_dims)
+            overlay = CanOverlay(dims=config.can_dims)
+            rng = self.streams.get("topology")
+            for i in range(n):
+                point = (
+                    tuple(float(x) for x in rng.random(config.can_dims))
+                    if i else None
+                )
+                overlay.join(i, point=point)
+            return overlay
+        if config.overlay_type == "pastry":
+            return PastryOverlay.build(range(config.num_nodes))
+        return ChordOverlay.build(range(config.num_nodes))
+
+    def _create_node(self, node_id: NodeId) -> CupNode:
+        config = self.config
+        node = CupNode(
+            node_id=node_id,
+            sim=self.sim,
+            transport=self.transport,
+            overlay=self.overlay,
+            policy=self.policy,
+            metrics=self.metrics,
+            persistent_interest=(config.mode == "cup"),
+            coalesce=(config.mode != "standard"),
+            replica_independent_cutoff=config.replica_independent_cutoff,
+            capacity=CapacityConfig(
+                fraction=config.capacity_fraction, rate=config.capacity_rate
+            ),
+            rng=self.streams.get("capacity"),
+            pfu_timeout=config.pfu_timeout,
+            track_justification=config.track_justification,
+            refresh_aggregation_window=config.refresh_aggregation_window,
+            refresh_sample_fraction=config.refresh_sample_fraction,
+            channel_priorities=PRIORITY_PROFILES[config.priority_profile],
+        )
+        self.nodes[node_id] = node
+        self.transport.register(node_id, node)
+        return node
+
+    def _register_jittered_links(self) -> None:
+        if not isinstance(self.overlay, CanOverlay):
+            return
+        rng = self.streams.get("link-delays")
+        base = self.config.link_delay
+        jitter = self.config.link_delay_jitter
+        seen = set()
+        for node_id in self.overlay.node_ids():
+            for neighbor in self.overlay.neighbors(node_id):
+                pair = (node_id, neighbor) if str(node_id) < str(neighbor) \
+                    else (neighbor, node_id)
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                delay = max(1e-4, base + float(rng.uniform(-jitter, jitter)))
+                self.transport.add_link(pair[0], pair[1], delay)
+
+    # ------------------------------------------------------------------
+    # Periodic housekeeping
+    # ------------------------------------------------------------------
+
+    def _gc_tick(self) -> None:
+        for node in self.nodes.values():
+            node.gc()
+        if self.sim.now < self.config.sim_end:
+            self.sim.schedule(self.config.gc_interval, self._gc_tick)
+
+    def _failure_sweep_tick(self) -> None:
+        for node in self.nodes.values():
+            node.sweep_local_index()
+        if self.sim.now < self.config.sim_end:
+            self.sim.schedule(
+                self.config.failure_sweep_interval, self._failure_sweep_tick
+            )
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+
+    def _default_key_selector(self) -> KeySelector:
+        rng = self.streams.get("workload-keys")
+        if self.config.key_distribution == "zipf":
+            return ZipfKeys(self.keys, self.config.zipf_s, rng)
+        return UniformKeys(self.keys, rng)
+
+    def attach_workload(
+        self,
+        rate: Optional[float] = None,
+        key_selector: Optional[KeySelector] = None,
+    ) -> QueryWorkload:
+        """Create (but do not start) the query workload."""
+        config = self.config
+        arrivals = PoissonArrivals(
+            rate if rate is not None else config.query_rate,
+            self.streams.get("workload-arrivals"),
+        )
+        rng = self.streams.get("workload-nodes")
+
+        def select_node(now: float) -> NodeId:
+            # Read the member list afresh on every draw: churn replaces it.
+            members = self._member_list
+            return members[int(rng.integers(len(members)))]
+
+        self.workload = QueryWorkload(
+            sim=self.sim,
+            arrivals=arrivals,
+            key_selector=key_selector or self._default_key_selector(),
+            node_selector=select_node,
+            post_fn=self.post_query,
+            start=config.query_start,
+            duration=config.query_duration,
+        )
+        return self.workload
+
+    def post_query(self, node_id: NodeId, key: str) -> bool:
+        """Post one local-client query at a node (workload callback)."""
+        return self.nodes[node_id].post_local_query(key)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> MetricsSummary:
+        """Run the full configured experiment and return its metrics."""
+        if self.workload is None:
+            self.attach_workload()
+        self.workload.begin()
+        self.sim.run_until(self.config.sim_end)
+        return self.metrics.summary()
+
+    def run_until(self, deadline: float) -> None:
+        """Advance the simulation clock (incremental driving for tests)."""
+        self.sim.run_until(deadline)
+
+    # ------------------------------------------------------------------
+    # Capacity faults (§3.7)
+    # ------------------------------------------------------------------
+
+    def set_node_capacity(self, node_id: NodeId, capacity: CapacityConfig) -> None:
+        """Change one node's outgoing update capacity.
+
+        Silently ignores departed nodes: fault schedules select their
+        victims ahead of time and legitimately race with churn.
+        """
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.set_capacity(capacity)
+
+    # ------------------------------------------------------------------
+    # Keep-alive failure detection (§2.1)
+    # ------------------------------------------------------------------
+
+    def enable_keepalive(
+        self, period: float = 10.0, miss_threshold: int = 3
+    ) -> None:
+        """Attach heartbeat monitors to every node (and future joiners).
+
+        With monitors on, :meth:`crash_node` models a *silent* failure:
+        the overlay keeps routing through the corpse (messages to it are
+        dropped) until a neighbor's monitor suspects it, at which point
+        the network completes the departure — the §2.1 "trigger recovery
+        mechanisms" loop, end to end.
+        """
+        self._keepalive_settings = (period, miss_threshold)
+        for node_id, node in self.nodes.items():
+            self._attach_monitor(node_id, node)
+
+    def _attach_monitor(self, node_id: NodeId, node: CupNode) -> None:
+        if self._keepalive_settings is None:
+            return
+        from repro.core.keepalive import KeepAliveMonitor
+
+        period, miss_threshold = self._keepalive_settings
+        monitor = KeepAliveMonitor(
+            sim=self.sim,
+            transport=self.transport,
+            node_id=node_id,
+            neighbors_fn=lambda nid=node_id: (
+                list(self.overlay.neighbors(nid)) if nid in self.nodes else []
+            ),
+            period=period,
+            miss_threshold=miss_threshold,
+            on_suspect=self._on_suspected_failure,
+        )
+        node.keepalive_monitor = monitor
+        monitor.start()
+
+    def crash_node(self, node_id: NodeId) -> None:
+        """A node fails silently: gone from the transport, overlay intact.
+
+        Detection (if keep-alive is enabled) later completes the failure
+        via :meth:`leave_node`.  Without monitors the corpse routes
+        nothing forever — callers then repair explicitly.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise ValueError(f"node {node_id!r} is not a member")
+        if node.keepalive_monitor is not None:
+            node.keepalive_monitor.stop()
+        self.transport.unregister(node_id)
+        self._crashed.add(node_id)
+        self._member_list = [n for n in self._member_list if n != node_id]
+        self.tracer.emit(self.sim.now, "churn", event="crash", node=node_id)
+
+    def _on_suspected_failure(self, reporter: NodeId, suspect: NodeId) -> None:
+        if suspect not in self._crashed:
+            return  # false alarm (e.g. transient); live nodes stay
+        self._crashed.discard(suspect)
+        self.failure_detections.append(
+            (self.sim.now, reporter, suspect)
+        )
+        self.leave_node(suspect, graceful=False)
+
+    # ------------------------------------------------------------------
+    # Churn (§2.9)
+    # ------------------------------------------------------------------
+
+    def live_node_ids(self) -> List[NodeId]:
+        return self._member_list
+
+    def join_node(self, node_id: NodeId) -> CupNode:
+        """A new node joins: overlay split, index handover, wiring."""
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id!r} is already a member")
+        if isinstance(self.overlay, CanOverlay):
+            self.overlay.join(node_id)
+        else:
+            self.overlay.join(node_id)
+        node = self._create_node(node_id)
+        self._attach_monitor(node_id, node)
+        self._member_list = list(self.nodes)
+        if self.config.handover_entries:
+            self._reassign_authority_entries()
+        self.tracer.emit(self.sim.now, "churn", event="join", node=node_id)
+        return node
+
+    def leave_node(self, node_id: NodeId, graceful: bool = True) -> None:
+        """A node departs; neighbors take over its zone and (optionally)
+        its index entries (§2.9)."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise ValueError(f"node {node_id!r} is not a member")
+        former_neighbors = list(self.overlay.neighbors(node_id))
+        departing_index = node.authority_index
+        self.overlay.leave(node_id)
+        del self.nodes[node_id]
+        self.transport.unregister(node_id)
+        self._member_list = list(self.nodes)
+
+        if graceful and self.config.handover_entries and self.nodes:
+            # The departing node hands its directory to the new owners;
+            # ungraceful departures lose it (entries at caches simply
+            # expire and later queries restart propagation).
+            slices = departing_index.extract_keys(list(departing_index.keys()))
+            for key, per_key in slices.items():
+                new_owner = self.overlay.authority(key)
+                self.nodes[new_owner].authority_index.absorb({key: per_key})
+
+        # §2.9: patch interest bit vectors of the affected nodes.
+        alive = set(self.nodes)
+        for neighbor_id in former_neighbors:
+            neighbor = self.nodes.get(neighbor_id)
+            if neighbor is not None:
+                neighbor.patch_after_churn(alive)
+        self.tracer.emit(
+            self.sim.now, "churn",
+            event="leave" if graceful else "fail", node=node_id,
+        )
+
+    def _reassign_authority_entries(self) -> None:
+        """Move directory slices to their current authority owners.
+
+        Called after membership changes: any node holding entries for
+        keys it no longer owns extracts and ships them (the §2.9 "give a
+        copy of its stored index entries" option).
+        """
+        for node_id, node in list(self.nodes.items()):
+            misplaced = [
+                key for key in list(node.authority_index.keys())
+                if self.overlay.authority(key) != node_id
+            ]
+            if not misplaced:
+                continue
+            slices = node.authority_index.extract_keys(misplaced)
+            for key, per_key in slices.items():
+                owner = self.overlay.authority(key)
+                self.nodes[owner].authority_index.absorb({key: per_key})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: NodeId) -> CupNode:
+        return self.nodes[node_id]
+
+    def summary(self) -> MetricsSummary:
+        return self.metrics.summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CupNetwork(mode={self.config.mode!r}, nodes={len(self.nodes)}, "
+            f"keys={len(self.keys)}, policy={self.policy.name})"
+        )

@@ -1,0 +1,129 @@
+"""CUP query trees (§2.10 and §3.1 of the paper).
+
+For each key, the authority node that owns it is the root of a *CUP
+tree*; the branches are the overlay paths queries take.  Two trees matter
+to the cost model:
+
+* the **Virtual Query Spanning Tree** ``V(A, K)`` — the tree obtained by
+  issuing a query from *every* node, i.e. the union of all possible query
+  paths.  Since overlay routing is deterministic, every node has exactly
+  one parent (its next hop toward the authority), which makes the union a
+  tree.
+* the **Real Query Tree** ``R(A, K)`` — the subtree of ``V(A, K)``
+  actually exercised by a given workload's querying nodes.
+
+These structures drive the analytical cost model (aggregate subtree query
+rates, justification probabilities) and several tests; the protocol
+itself never materializes them — its per-key parent pointers *are* the
+tree, distributed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.overlay.base import NodeId, Overlay
+
+
+class QueryTree:
+    """An explicit (parent, children) view of a CUP tree for one key."""
+
+    def __init__(self, key: str, root: NodeId):
+        self.key = key
+        self.root = root
+        self.parent: Dict[NodeId, Optional[NodeId]] = {root: None}
+        self.children: Dict[NodeId, List[NodeId]] = {root: []}
+        self.depth: Dict[NodeId, int] = {root: 0}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def virtual(cls, overlay: Overlay, key: str) -> "QueryTree":
+        """Build ``V(A, K)``: the spanning tree over all current members."""
+        return cls.real(overlay, key, overlay.node_ids())
+
+    @classmethod
+    def real(
+        cls, overlay: Overlay, key: str, querying_nodes: Iterable[NodeId]
+    ) -> "QueryTree":
+        """Build ``R(A, K)``: the union of query paths from given nodes."""
+        root = overlay.authority(key)
+        tree = cls(key, root)
+        for node in querying_nodes:
+            tree._add_path(overlay.route(node, key))
+        return tree
+
+    def _add_path(self, path: List[NodeId]) -> None:
+        """Merge one root-ward path (querying node first) into the tree."""
+        # Walk from the authority end so parents are established before
+        # children; stop early where the path joins the existing tree.
+        for i in range(len(path) - 1, 0, -1):
+            parent, child = path[i], path[i - 1]
+            if child in self.parent:
+                continue
+            self.parent[child] = parent
+            self.children[child] = []
+            self.children.setdefault(parent, []).append(child)
+            self.depth[child] = self.depth[parent] + 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Set[NodeId]:
+        return set(self.parent)
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.parent
+
+    def subtree(self, node: NodeId) -> Iterator[NodeId]:
+        """All nodes of the subtree rooted at ``node`` (preorder).
+
+        The justification window of an update pushed to ``node`` is
+        satisfied by a query anywhere in the *virtual* subtree below it
+        (§3.1): queries there would route through ``node``.
+        """
+        if node not in self.parent:
+            raise KeyError(f"{node!r} is not in the tree for {self.key!r}")
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(self.children.get(current, ()))
+
+    def path_to_root(self, node: NodeId) -> List[NodeId]:
+        """The query path from ``node`` up to the authority, inclusive."""
+        path = [node]
+        current = node
+        while True:
+            parent = self.parent.get(current)
+            if parent is None:
+                if current != self.root:
+                    raise KeyError(f"{node!r} is not in the tree")
+                return path
+            path.append(parent)
+            current = parent
+
+    def nodes_within(self, level: int) -> Set[NodeId]:
+        """Nodes at depth <= ``level`` — the reach of a push level (§3.3)."""
+        return {n for n, d in self.depth.items() if d <= level}
+
+    def max_depth(self) -> int:
+        """Eccentricity of the root: the deepest queried node."""
+        return max(self.depth.values(), default=0)
+
+    def aggregate_rate(self, node: NodeId, per_node_rate: Dict[NodeId, float]) -> float:
+        """``Lambda`` of the subtree below ``node`` for the cost model."""
+        return sum(per_node_rate.get(n, 0.0) for n in self.subtree(node))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryTree(key={self.key!r}, root={self.root!r}, "
+            f"nodes={len(self.parent)}, depth={self.max_depth()})"
+        )

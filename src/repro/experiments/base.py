@@ -1,0 +1,66 @@
+"""Common result plumbing for experiment harnesses."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+
+@dataclasses.dataclass
+class Expectation:
+    """One qualitative shape claim from the paper, checked on our data."""
+
+    claim: str
+    holds: bool
+
+    def __str__(self) -> str:
+        marker = "PASS" if self.holds else "FAIL"
+        return f"[{marker}] {self.claim}"
+
+
+class ExperimentResult:
+    """Base class: carries expectations and renders a report."""
+
+    title: str = ""
+
+    def __init__(self) -> None:
+        self.expectations: List[Expectation] = []
+
+    def expect(self, claim: str, holds: bool) -> None:
+        self.expectations.append(Expectation(claim, bool(holds)))
+
+    def check_expectations(self) -> List[Expectation]:
+        return list(self.expectations)
+
+    def all_expectations_hold(self) -> bool:
+        return all(e.holds for e in self.expectations)
+
+    def format_table(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def report(self) -> str:
+        """Table plus the expectation checklist, ready to print."""
+        lines = [self.format_table(), ""]
+        lines.extend(str(e) for e in self.expectations)
+        return "\n".join(lines)
+
+
+def monotone_nonincreasing(values: List[float], slack: float = 0.05) -> bool:
+    """Whether a series trends downward (each step may backslide by at
+    most ``slack`` of the running maximum — simulation noise tolerance)."""
+    best = float("inf")
+    for v in values:
+        if v > best * (1.0 + slack) + 1e-9:
+            return False
+        best = min(best, v)
+    return True
+
+
+def monotone_nondecreasing(values: List[float], slack: float = 0.05) -> bool:
+    """Mirror of :func:`monotone_nonincreasing` for upward trends."""
+    best = -float("inf")
+    for v in values:
+        if v < best * (1.0 - slack) - 1e-9:
+            return False
+        best = max(best, v)
+    return True

@@ -1,0 +1,203 @@
+"""Raw counters and derived cost quantities.
+
+One :class:`MetricsCollector` instance observes one simulation run.  Hop
+counters attach to the transport (one observer call per overlay-hop
+send); protocol event counters are incremented directly by node logic.
+``summary()`` freezes everything into an immutable
+:class:`MetricsSummary` which the experiment harnesses consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict
+
+from repro.core.messages import UpdateType
+from repro.sim.network import Message, NodeId
+
+
+class MetricsCollector:
+    """Counters for one simulation run.
+
+    Attach to a transport with
+    ``transport.add_send_observer(collector.on_send)``.
+    """
+
+    def __init__(self) -> None:
+        # --- hop counters (one increment per overlay-hop send) --------
+        self.query_hops = 0
+        self.update_hops: Dict[UpdateType, int] = {t: 0 for t in UpdateType}
+        self.clear_bit_hops = 0
+        # --- query outcome counters (posting-node view) ---------------
+        self.queries_posted = 0
+        self.local_hits = 0
+        self.misses = 0
+        self.first_time_misses = 0
+        self.freshness_misses = 0
+        self.coalesced_queries = 0
+        self.answers_delivered = 0
+        # --- intermediate node events ----------------------------------
+        self.neighbor_queries = 0
+        self.cache_answers = 0
+        self.authority_answers = 0
+        self.queries_forwarded = 0
+        # --- update pipeline events ------------------------------------
+        self.updates_suppressed = 0
+        self.updates_dropped_expired = 0
+        self.updates_stale_discarded = 0
+        self.clear_bits_sent = 0
+        # --- justification accounting (§3.1) ---------------------------
+        self.justified_updates = 0
+        self.unjustified_updates = 0
+        # --- substrate events -------------------------------------------
+        self.replica_births = 0
+        self.replica_refreshes = 0
+        self.replica_deaths = 0
+        self.failure_detections = 0
+        # --- latency (seconds, extension beyond the paper's hop metric)
+        self.answer_delay_total = 0.0
+        self.answer_delay_count = 0
+
+    # ------------------------------------------------------------------
+    # Transport observer
+    # ------------------------------------------------------------------
+
+    def on_send(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        """Classify one overlay-hop send (wired as a transport observer)."""
+        kind = message.kind
+        if kind == "query":
+            self.query_hops += 1
+        elif kind == "update":
+            self.update_hops[message.update_type] += 1
+        elif kind == "clear_bit":
+            self.clear_bit_hops += 1
+
+    # ------------------------------------------------------------------
+    # Derived quantities (§3.3 definitions)
+    # ------------------------------------------------------------------
+
+    @property
+    def first_time_update_hops(self) -> int:
+        return self.update_hops[UpdateType.FIRST_TIME]
+
+    @property
+    def maintenance_update_hops(self) -> int:
+        """Refresh + delete + append hops (the pushed-update overhead)."""
+        return (
+            self.update_hops[UpdateType.REFRESH]
+            + self.update_hops[UpdateType.DELETE]
+            + self.update_hops[UpdateType.APPEND]
+        )
+
+    @property
+    def miss_cost(self) -> int:
+        """Hops incurred by all misses: queries up + responses down."""
+        return self.query_hops + self.first_time_update_hops
+
+    @property
+    def overhead_cost(self) -> int:
+        """Maintenance update hops down + clear-bit hops up."""
+        return self.maintenance_update_hops + self.clear_bit_hops
+
+    @property
+    def total_cost(self) -> int:
+        return self.miss_cost + self.overhead_cost
+
+    @property
+    def miss_latency(self) -> float:
+        """Average hops needed to handle a miss (0.0 with no misses)."""
+        return self.miss_cost / self.misses if self.misses else 0.0
+
+    @property
+    def justified_fraction(self) -> float:
+        """Share of resolved justification windows that saw a query."""
+        resolved = self.justified_updates + self.unjustified_updates
+        return self.justified_updates / resolved if resolved else 0.0
+
+    @property
+    def mean_answer_delay(self) -> float:
+        """Mean seconds from local query post to answer (misses only)."""
+        if not self.answer_delay_count:
+            return 0.0
+        return self.answer_delay_total / self.answer_delay_count
+
+    def summary(self) -> "MetricsSummary":
+        """Freeze current counters into an immutable summary."""
+        return MetricsSummary(
+            query_hops=self.query_hops,
+            first_time_update_hops=self.first_time_update_hops,
+            refresh_hops=self.update_hops[UpdateType.REFRESH],
+            delete_hops=self.update_hops[UpdateType.DELETE],
+            append_hops=self.update_hops[UpdateType.APPEND],
+            clear_bit_hops=self.clear_bit_hops,
+            miss_cost=self.miss_cost,
+            overhead_cost=self.overhead_cost,
+            total_cost=self.total_cost,
+            queries_posted=self.queries_posted,
+            local_hits=self.local_hits,
+            misses=self.misses,
+            first_time_misses=self.first_time_misses,
+            freshness_misses=self.freshness_misses,
+            coalesced_queries=self.coalesced_queries,
+            answers_delivered=self.answers_delivered,
+            miss_latency=self.miss_latency,
+            justified_updates=self.justified_updates,
+            unjustified_updates=self.unjustified_updates,
+            justified_fraction=self.justified_fraction,
+            updates_suppressed=self.updates_suppressed,
+            updates_dropped_expired=self.updates_dropped_expired,
+            mean_answer_delay=self.mean_answer_delay,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsSummary:
+    """Immutable snapshot of one run's measured quantities."""
+
+    query_hops: int
+    first_time_update_hops: int
+    refresh_hops: int
+    delete_hops: int
+    append_hops: int
+    clear_bit_hops: int
+    miss_cost: int
+    overhead_cost: int
+    total_cost: int
+    queries_posted: int
+    local_hits: int
+    misses: int
+    first_time_misses: int
+    freshness_misses: int
+    coalesced_queries: int
+    answers_delivered: int
+    miss_latency: float
+    justified_updates: int
+    unjustified_updates: int
+    justified_fraction: float
+    updates_suppressed: int
+    updates_dropped_expired: int
+    mean_answer_delay: float
+
+    def saved_miss_ratio(self, baseline: "MetricsSummary") -> float:
+        """Saved miss hops per overhead hop, against a baseline run (§3.5).
+
+        ``(baseline.miss_cost - self.miss_cost) / self.overhead_cost`` —
+        the paper's "investment return per update push".
+        """
+        saved = baseline.miss_cost - self.miss_cost
+        if self.overhead_cost == 0:
+            return math.inf if saved > 0 else 0.0
+        return saved / self.overhead_cost
+
+    def cost_ratio(self, baseline: "MetricsSummary") -> float:
+        """This run's total cost normalized by the baseline's."""
+        if baseline.total_cost == 0:
+            return math.inf if self.total_cost else 1.0
+        return self.total_cost / baseline.total_cost
+
+    def miss_cost_ratio(self, baseline: "MetricsSummary") -> float:
+        """This run's miss cost normalized by the baseline's."""
+        if baseline.miss_cost == 0:
+            return math.inf if self.miss_cost else 1.0
+        return self.miss_cost / baseline.miss_cost

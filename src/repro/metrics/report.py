@@ -1,0 +1,93 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harnesses print tables mirroring the paper's layout (total
+cost with the standard-caching-normalized value in parentheses, etc.).
+Rendering is deliberately dependency-free: aligned monospace columns that
+read well in a terminal and in committed EXPERIMENTS.md transcripts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float compactly; integers lose the trailing zeros."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+def format_ratio(value: float, baseline: float, digits: int = 2) -> str:
+    """Paper-style "55905 (1.00)" cell: absolute plus normalized."""
+    absolute = format_float(value, digits=0)
+    if baseline == 0:
+        return f"{absolute} (-)"
+    return f"{absolute} ({value / baseline:.{digits}f})"
+
+
+class Table:
+    """A titled, aligned, monospace table."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; cells are stringified (floats compactly)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([
+            format_float(c) if isinstance(c, float) else str(c) for c in cells
+        ])
+
+    def render(self, indent: str = "") -> str:
+        """The table as a string (title, rule, header, rows)."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return indent + "  ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(cells)
+            ).rstrip()
+
+        rule = indent + "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [indent + self.title, rule, line(self.headers), rule]
+        out.extend(line(row) for row in self.rows)
+        out.append(rule)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    y_digits: int = 0,
+) -> str:
+    """Render figure data (x column + one column per named series).
+
+    Used by the figure-reproduction benches: the paper's figures are
+    line plots; we print the underlying series so the shape (monotone
+    trends, crossovers, turning points) is inspectable in text.
+    """
+    table = Table(title, [x_label, *series.keys()])
+    for i, x in enumerate(xs):
+        cells: List[Any] = [format_float(float(x))]
+        for values in series.values():
+            v = values[i]
+            cells.append(format_float(float(v), digits=y_digits) if v is not None else "-")
+        table.add_row(*cells)
+    return table.render()

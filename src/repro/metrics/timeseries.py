@@ -1,0 +1,110 @@
+"""Windowed time-series sampling of simulation metrics.
+
+The paper's tables report whole-run aggregates, but several of its
+arguments are about *dynamics*: the Up-And-Down experiment's recovery
+after each fault episode, the flash crowd's burst, the clear-bit
+teardown after the query phase.  A :class:`TimeSeriesSampler` snapshots
+chosen quantities on a fixed period so examples and analyses can plot
+cost over time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+Probe = Callable[[], float]
+
+
+class TimeSeriesSampler:
+    """Periodic snapshots of named probes.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock drives sampling.
+    period:
+        Seconds between samples.
+    probes:
+        Mapping of series name to a zero-argument callable returning the
+        current value (typically a closure over a metrics counter).
+
+    Notes
+    -----
+    Counters are cumulative; :meth:`deltas` converts a series to
+    per-window increments, which is what rate plots want.
+    """
+
+    def __init__(self, sim: Simulator, period: float, probes: Dict[str, Probe]):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not probes:
+            raise ValueError("need at least one probe")
+        self._sim = sim
+        self.period = period
+        self._probes = dict(probes)
+        self.times: List[float] = []
+        self.samples: Dict[str, List[float]] = {name: [] for name in probes}
+        self._process = PeriodicProcess(sim, period, self._sample, phase=0.0)
+
+    def stop(self) -> None:
+        """Stop sampling (existing samples are retained)."""
+        self._process.stop()
+
+    def _sample(self) -> None:
+        self.times.append(self._sim.now)
+        for name, probe in self._probes.items():
+            self.samples[name].append(float(probe()))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def series(self, name: str) -> List[float]:
+        """The raw cumulative samples for ``name``."""
+        return list(self.samples[name])
+
+    def deltas(self, name: str) -> List[float]:
+        """Per-window increments of a cumulative series."""
+        values = self.samples[name]
+        return [b - a for a, b in zip(values, values[1:])]
+
+    def window_of(self, time: float) -> int:
+        """Index of the sample window containing ``time``."""
+        if not self.times:
+            raise ValueError("no samples recorded")
+        for i, t in enumerate(self.times):
+            if time < t:
+                return max(0, i - 1)
+        return len(self.times) - 1
+
+    def peak_window(self, name: str) -> int:
+        """Index of the window with the largest increment of ``name``."""
+        deltas = self.deltas(name)
+        if not deltas:
+            raise ValueError("need at least two samples")
+        return max(range(len(deltas)), key=deltas.__getitem__)
+
+    def render(self, names: Sequence[str], width: int = 60) -> str:
+        """A quick ASCII sparkline block for terminal inspection."""
+        blocks = " .:-=+*#%@"
+        out = []
+        for name in names:
+            deltas = self.deltas(name)
+            if not deltas:
+                out.append(f"{name:>24s} | (no data)")
+                continue
+            step = max(1, len(deltas) // width)
+            bucketed = [
+                sum(deltas[i: i + step]) / step
+                for i in range(0, len(deltas), step)
+            ]
+            top = max(bucketed) or 1.0
+            line = "".join(
+                blocks[min(len(blocks) - 1, int(v / top * (len(blocks) - 1)))]
+                for v in bucketed
+            )
+            out.append(f"{name:>24s} | {line}")
+        return "\n".join(out)

@@ -1,0 +1,106 @@
+"""The overlay interface CUP depends on.
+
+CUP is deliberately overlay-agnostic (§2.2 of the paper): it only assumes
+that "anytime a node issues a query for key K, the query will be routed
+along a well-defined structured path with a bounded number of hops from
+the querying node to the authority node for K", and that each hop is
+chosen deterministically.  This module captures exactly that contract.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, List, Optional
+
+NodeId = Any
+
+
+class RoutingError(RuntimeError):
+    """Raised when an overlay cannot make routing progress.
+
+    A correctly constructed overlay never raises this; it exists to turn
+    would-be infinite forwarding loops (e.g. from a corrupted topology in
+    a failure-injection test) into loud failures.
+    """
+
+
+class Overlay(ABC):
+    """Deterministic structured routing substrate.
+
+    Implementations must guarantee:
+
+    * ``authority(key)`` is a pure function of the key and the current
+      membership;
+    * ``next_hop(node, key)`` returns a *neighbor* of ``node`` that is
+      strictly closer to the authority (so routes are loop-free), or
+      ``None`` when ``node`` is itself the authority;
+    * routes are bounded by :attr:`max_route_length`.
+    """
+
+    #: Safety bound on route length; ``route`` raises beyond this.
+    max_route_length = 10_000
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def node_ids(self) -> Iterable[NodeId]:
+        """All current member node identifiers."""
+
+    @abstractmethod
+    def neighbors(self, node_id: NodeId) -> Iterable[NodeId]:
+        """Direct overlay neighbors of ``node_id``."""
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in set(self.node_ids())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.node_ids())
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def authority(self, key: str) -> NodeId:
+        """The node that owns ``key``'s slice of the global index."""
+
+    @abstractmethod
+    def next_hop(self, node_id: NodeId, key: str) -> Optional[NodeId]:
+        """The neighbor to forward a query for ``key`` to.
+
+        Returns ``None`` iff ``node_id`` is the authority for ``key``.
+        """
+
+    def route(self, start: NodeId, key: str) -> List[NodeId]:
+        """Full query path from ``start`` to the authority, inclusive.
+
+        The returned list begins with ``start`` and ends with
+        ``authority(key)``; its length minus one is the hop distance used
+        throughout the paper's cost model.
+        """
+        path = [start]
+        current = start
+        for _ in range(self.max_route_length):
+            nxt = self.next_hop(current, key)
+            if nxt is None:
+                return path
+            if nxt == current:
+                raise RoutingError(
+                    f"overlay returned {current!r} as its own next hop for {key!r}"
+                )
+            path.append(nxt)
+            current = nxt
+        raise RoutingError(
+            f"route for key {key!r} from {start!r} exceeded "
+            f"{self.max_route_length} hops"
+        )
+
+    def distance(self, node_id: NodeId, key: str) -> int:
+        """Hop count from ``node_id`` to the authority for ``key``.
+
+        This is the distance ``D`` used by the probability-based cut-off
+        policies (§3.4) and the push-level experiments (§3.3).
+        """
+        return len(self.route(node_id, key)) - 1

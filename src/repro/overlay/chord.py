@@ -1,0 +1,181 @@
+"""A Chord ring overlay (Stoica et al., SIGCOMM 2001).
+
+The paper positions CUP as substrate-agnostic (§2.2): any structured
+overlay with deterministic bounded-hop routing can host it.  This Chord
+implementation exists to demonstrate that — the CUP protocol layer runs
+unchanged over either :class:`~repro.overlay.can.CanOverlay` or this
+class — and to let ablation benchmarks compare CUP's behaviour across
+routing geometries (Chord's O(log n) greedy-by-identifier paths versus
+CAN's O(sqrt n) grid paths).
+
+Routing state (successors and finger targets) is derived on demand from
+the current membership via binary search over the sorted identifier ring,
+rather than maintaining per-node finger tables with a stabilization
+protocol.  The resulting hop sequences are exactly those of a converged
+Chord ring; CUP's behaviour depends only on those hop sequences.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.overlay.base import NodeId, Overlay, RoutingError
+from repro.overlay.hashing import hash_to_int
+
+
+class ChordOverlay(Overlay):
+    """Chord ring with power-of-two finger routing.
+
+    Parameters
+    ----------
+    bits:
+        Identifier width ``m``; the ring has ``2**m`` positions.
+
+    Node identifiers are arbitrary hashable values; each is mapped to a
+    ring position with the uniform hash (collisions raise, since two
+    co-located nodes would be indistinguishable to routing).
+    """
+
+    def __init__(self, bits: int = 32):
+        if not 3 <= bits <= 64:
+            raise ValueError(f"bits must be in [3, 64], got {bits}")
+        self.bits = bits
+        self.size = 1 << bits
+        self.epoch = 0
+        self._id_of: Dict[NodeId, int] = {}
+        self._node_at: Dict[int, NodeId] = {}
+        self._ring: List[int] = []  # sorted ring positions
+        self._authority_cache: Dict[str, NodeId] = {}
+        self._key_cache: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, node_ids: Iterable[NodeId], bits: int = 32) -> "ChordOverlay":
+        """Construct a converged ring containing ``node_ids``."""
+        overlay = cls(bits=bits)
+        for node_id in node_ids:
+            overlay.join(node_id)
+        return overlay
+
+    def join(self, node_id: NodeId) -> None:
+        """Add a node at the ring position its identifier hashes to."""
+        if node_id in self._id_of:
+            raise ValueError(f"node {node_id!r} is already a member")
+        position = hash_to_int(str(node_id), self.bits, salt="chord-node")
+        if position in self._node_at:
+            raise ValueError(
+                f"ring position collision: {node_id!r} vs "
+                f"{self._node_at[position]!r} at {position}"
+            )
+        self._id_of[node_id] = position
+        self._node_at[position] = node_id
+        bisect.insort(self._ring, position)
+        self._membership_changed()
+
+    def leave(self, node_id: NodeId) -> None:
+        """Remove a node; its arc is absorbed by its successor."""
+        position = self._id_of.pop(node_id, None)
+        if position is None:
+            raise ValueError(f"node {node_id!r} is not a member")
+        del self._node_at[position]
+        index = bisect.bisect_left(self._ring, position)
+        del self._ring[index]
+        self._membership_changed()
+
+    def _membership_changed(self) -> None:
+        self.epoch += 1
+        self._authority_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Ring arithmetic
+    # ------------------------------------------------------------------
+
+    def ring_position(self, node_id: NodeId) -> int:
+        """Ring position of a member node."""
+        return self._id_of[node_id]
+
+    def key_position(self, key: str) -> int:
+        """Ring position ``key`` hashes to (memoized)."""
+        position = self._key_cache.get(key)
+        if position is None:
+            position = hash_to_int(key, self.bits, salt="chord-key")
+            self._key_cache[key] = position
+        return position
+
+    def successor_position(self, position: int) -> int:
+        """The first member position clockwise from ``position`` (inclusive)."""
+        if not self._ring:
+            raise RoutingError("empty ring")
+        index = bisect.bisect_left(self._ring, position % self.size)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index]
+
+    @staticmethod
+    def _in_open_interval(x: int, lo: int, hi: int, size: int) -> bool:
+        """Whether ``x`` lies in the clockwise-open interval ``(lo, hi]``."""
+        x, lo, hi = x % size, lo % size, hi % size
+        if lo < hi:
+            return lo < x <= hi
+        return x > lo or x <= hi
+
+    # ------------------------------------------------------------------
+    # Overlay interface
+    # ------------------------------------------------------------------
+
+    def node_ids(self) -> Iterable[NodeId]:
+        return self._id_of.keys()
+
+    def neighbors(self, node_id: NodeId) -> Iterable[NodeId]:
+        """Finger targets plus successor and predecessor.
+
+        This is the set of nodes ``node_id`` can send to in one hop, i.e.
+        the candidates CUP keeps interest-bit state for.
+        """
+        position = self._id_of[node_id]
+        out: Set[NodeId] = set()
+        if len(self._ring) == 1:
+            return out
+        for i in range(self.bits):
+            target = self.successor_position(position + (1 << i))
+            if target != position:
+                out.add(self._node_at[target])
+        index = bisect.bisect_left(self._ring, position)
+        predecessor = self._ring[index - 1]
+        if predecessor != position:
+            out.add(self._node_at[predecessor])
+        return out
+
+    def authority(self, key: str) -> NodeId:
+        owner = self._authority_cache.get(key)
+        if owner is None:
+            if not self._ring:
+                raise RoutingError("empty ring")
+            owner = self._node_at[self.successor_position(self.key_position(key))]
+            self._authority_cache[key] = owner
+        return owner
+
+    def next_hop(self, node_id: NodeId, key: str) -> Optional[NodeId]:
+        """Chord greedy routing: closest preceding finger, else successor."""
+        position = self._id_of.get(node_id)
+        if position is None:
+            raise RoutingError(f"node {node_id!r} is not a member")
+        key_pos = self.key_position(key)
+        if self.successor_position(key_pos) == position:
+            return None
+        successor = self.successor_position(position + 1)
+        if self._in_open_interval(key_pos, position, successor, self.size):
+            return self._node_at[successor]
+        # Closest preceding finger: the farthest finger that does not
+        # overshoot the key, scanning from the largest stride down.
+        for i in reversed(range(self.bits)):
+            finger = self.successor_position(position + (1 << i))
+            if finger == position:
+                continue
+            if self._in_open_interval(finger, position, key_pos - 1, self.size):
+                return self._node_at[finger]
+        return self._node_at[successor]

@@ -1,0 +1,57 @@
+"""Uniform hash functions mapping keys into overlay coordinate spaces.
+
+The paper assumes "a hashing scheme that maps keys (names of content files
+or keywords) onto a virtual coordinate space using a uniform hash function
+that evenly distributes the keys to the space" (§2.1).  SHA-256 provides
+the uniformity; these helpers slice its digest into the forms each overlay
+needs (unit-cube points for CAN, ring identifiers for Chord).
+
+Results are deterministic across runs and platforms, which keeps
+experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+
+def _digest(key: str, salt: str = "") -> bytes:
+    if not isinstance(key, str):
+        raise TypeError(f"keys are strings, got {type(key).__name__}")
+    return hashlib.sha256(f"{salt}|{key}".encode("utf-8")).digest()
+
+
+def hash_to_unit_point(key: str, dims: int = 2, salt: str = "") -> Tuple[float, ...]:
+    """Map ``key`` to a point in the half-open unit cube ``[0, 1)^dims``.
+
+    Each coordinate consumes eight digest bytes, so up to four dimensions
+    are supported from a single SHA-256 digest — more than CAN experiments
+    ever use (the paper's CAN is two-dimensional).
+
+    >>> p = hash_to_unit_point("music/song.mp3")
+    >>> len(p), all(0.0 <= c < 1.0 for c in p)
+    (2, True)
+    """
+    if not 1 <= dims <= 4:
+        raise ValueError(f"dims must be in [1, 4], got {dims}")
+    digest = _digest(key, salt)
+    coords = []
+    for i in range(dims):
+        chunk = digest[8 * i: 8 * (i + 1)]
+        coords.append(int.from_bytes(chunk, "big") / 2 ** 64)
+    return tuple(coords)
+
+
+def hash_to_int(key: str, bits: int = 32, salt: str = "") -> int:
+    """Map ``key`` to an integer identifier in ``[0, 2**bits)``.
+
+    Used by the Chord overlay for both node identifiers and key
+    identifiers (with different salts so a node name and an identical key
+    name do not collide systematically).
+    """
+    if not 1 <= bits <= 160:
+        raise ValueError(f"bits must be in [1, 160], got {bits}")
+    digest = _digest(key, salt)
+    value = int.from_bytes(digest, "big")
+    return value % (1 << bits)

@@ -1,0 +1,213 @@
+"""A Pastry overlay (Rowstron & Druschel, Middleware 2001).
+
+The third of the four substrates the paper names (§2.2).  Pastry routes
+by identifier *prefix*: node and key identifiers are strings of base-16
+digits; each hop forwards to a node sharing at least one more leading
+digit with the key, falling back to a numerically closer node when the
+routing table has no longer-prefix entry.  Expected route length is
+O(log_16 n).
+
+As with our Chord, routing state is derived on demand from the global
+membership rather than maintained by the join/leaf-set protocols: the
+hop sequences match a converged Pastry ring, which is all CUP's
+behaviour depends on.
+
+Ownership and termination use a single total order — the *affinity* of a
+node id for a key: ``(shared_prefix_digits, -circular_distance, id)``.
+The authority for a key is the affinity maximum; every hop strictly
+increases affinity, so routes are loop-free and end at the authority.
+This folds Pastry's leaf-set tie-breaking into one deterministic rule
+(documented simplification of the real protocol's final-hop handling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.overlay.base import NodeId, Overlay, RoutingError
+from repro.overlay.hashing import hash_to_int
+
+#: Base-16 digits, as in the Pastry paper (b = 4 bits per digit).
+DIGIT_BITS = 4
+
+
+class PastryOverlay(Overlay):
+    """Prefix-routing overlay with numerically-closest ownership.
+
+    Parameters
+    ----------
+    digits:
+        Identifier length in base-16 digits (id space is
+        ``16**digits``).  Eight digits (32 bits) comfortably avoids
+        collisions for the network sizes the experiments use.
+    """
+
+    def __init__(self, digits: int = 8):
+        if not 2 <= digits <= 16:
+            raise ValueError(f"digits must be in [2, 16], got {digits}")
+        self.digits = digits
+        self.bits = digits * DIGIT_BITS
+        self.size = 1 << self.bits
+        self.epoch = 0
+        self._id_of: Dict[NodeId, int] = {}
+        self._node_at: Dict[int, NodeId] = {}
+        self._members: List[Tuple[int, NodeId]] = []  # sorted by position
+        self._authority_cache: Dict[str, NodeId] = {}
+        self._key_cache: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, node_ids: Iterable[NodeId], digits: int = 8) -> "PastryOverlay":
+        overlay = cls(digits=digits)
+        for node_id in node_ids:
+            overlay.join(node_id)
+        return overlay
+
+    def join(self, node_id: NodeId) -> None:
+        if node_id in self._id_of:
+            raise ValueError(f"node {node_id!r} is already a member")
+        position = hash_to_int(str(node_id), self.bits, salt="pastry-node")
+        if position in self._node_at:
+            raise ValueError(
+                f"identifier collision: {node_id!r} vs "
+                f"{self._node_at[position]!r}"
+            )
+        self._id_of[node_id] = position
+        self._node_at[position] = node_id
+        self._members.append((position, node_id))
+        self._members.sort()
+        self._membership_changed()
+
+    def leave(self, node_id: NodeId) -> None:
+        position = self._id_of.pop(node_id, None)
+        if position is None:
+            raise ValueError(f"node {node_id!r} is not a member")
+        del self._node_at[position]
+        self._members.remove((position, node_id))
+        self._membership_changed()
+
+    def _membership_changed(self) -> None:
+        self.epoch += 1
+        self._authority_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Identifier arithmetic
+    # ------------------------------------------------------------------
+
+    def node_position(self, node_id: NodeId) -> int:
+        return self._id_of[node_id]
+
+    def key_position(self, key: str) -> int:
+        position = self._key_cache.get(key)
+        if position is None:
+            position = hash_to_int(key, self.bits, salt="pastry-key")
+            self._key_cache[key] = position
+        return position
+
+    def shared_prefix(self, a: int, b: int) -> int:
+        """Leading base-16 digits ``a`` and ``b`` have in common."""
+        for i in range(self.digits):
+            shift = (self.digits - 1 - i) * DIGIT_BITS
+            if (a >> shift) & 0xF != (b >> shift) & 0xF:
+                return i
+        return self.digits
+
+    def _circular_distance(self, a: int, b: int) -> int:
+        d = abs(a - b)
+        return min(d, self.size - d)
+
+    def _affinity(self, position: int, key_pos: int) -> Tuple[int, int, int]:
+        """Total order of ownership: longer prefix, then closer, then id."""
+        return (
+            self.shared_prefix(position, key_pos),
+            -self._circular_distance(position, key_pos),
+            -position,
+        )
+
+    # ------------------------------------------------------------------
+    # Overlay interface
+    # ------------------------------------------------------------------
+
+    def node_ids(self) -> Iterable[NodeId]:
+        return self._id_of.keys()
+
+    def neighbors(self, node_id: NodeId) -> Iterable[NodeId]:
+        """Routing-table representatives plus the leaf set.
+
+        The routing table holds, per (prefix row ``l``, digit ``d``), one
+        representative member that shares exactly ``l`` leading digits
+        with this node and has digit ``d`` at position ``l`` (the
+        numerically closest such member, as a proximity stand-in).  The
+        leaf set holds the two nearest members by identifier on each
+        side.  Together these are the nodes this one forwards through in
+        the common case; rare fallback hops (§ module docstring) may use
+        other members, as real Pastry does via its neighborhood set.
+        """
+        position = self._id_of[node_id]
+        out: Set[NodeId] = set()
+        if len(self._members) > 1:
+            index = self._members.index((position, node_id))
+            for offset in (-2, -1, 1, 2):
+                peer = self._members[(index + offset) % len(self._members)][1]
+                if peer != node_id:
+                    out.add(peer)
+        best: Dict[Tuple[int, int], Tuple[int, NodeId]] = {}
+        for other_pos, other_id in self._members:
+            if other_id == node_id:
+                continue
+            row = self.shared_prefix(position, other_pos)
+            if row >= self.digits:
+                continue
+            shift = (self.digits - 1 - row) * DIGIT_BITS
+            digit = (other_pos >> shift) & 0xF
+            distance = self._circular_distance(position, other_pos)
+            slot = (row, digit)
+            if slot not in best or distance < best[slot][0]:
+                best[slot] = (distance, other_id)
+        out.update(entry for _, entry in best.values())
+        return out
+
+    def authority(self, key: str) -> NodeId:
+        owner = self._authority_cache.get(key)
+        if owner is None:
+            if not self._members:
+                raise RoutingError("empty overlay")
+            key_pos = self.key_position(key)
+            owner = max(
+                self._members,
+                key=lambda member: self._affinity(member[0], key_pos),
+            )[1]
+            self._authority_cache[key] = owner
+        return owner
+
+    def next_hop(self, node_id: NodeId, key: str) -> Optional[NodeId]:
+        position = self._id_of.get(node_id)
+        if position is None:
+            raise RoutingError(f"node {node_id!r} is not a member")
+        key_pos = self.key_position(key)
+        my_affinity = self._affinity(position, key_pos)
+        my_prefix = my_affinity[0]
+
+        # Prefix hop: the closest member sharing at least one more digit.
+        best_prefix_hop: Optional[Tuple[Tuple[int, int, int], NodeId]] = None
+        # Fallback: the best-affinity member overall.
+        best_overall: Tuple[Tuple[int, int, int], NodeId] = (my_affinity, node_id)
+        for other_pos, other_id in self._members:
+            if other_id == node_id:
+                continue
+            affinity = self._affinity(other_pos, key_pos)
+            if affinity > best_overall[0]:
+                best_overall = (affinity, other_id)
+            if affinity[0] > my_prefix:
+                if best_prefix_hop is None or affinity > best_prefix_hop[0]:
+                    best_prefix_hop = (affinity, other_id)
+        if best_overall[1] == node_id:
+            return None  # this node is the affinity maximum: the authority
+        if best_prefix_hop is not None:
+            return best_prefix_hop[1]
+        # No longer-prefix member exists; move strictly up the affinity
+        # order (numerically closer at the same prefix length).
+        return best_overall[1]

@@ -1,0 +1,191 @@
+"""Replica lifecycle processes.
+
+A replica announces itself (birth), keeps its index entry alive with
+refresh messages sent when the entry expires — "for all experiments,
+refreshes of index entries occur at expiration" (§3.2) — and leaves
+either gracefully (deletion message) or by failing silently.
+
+Replica-to-authority traffic rides :meth:`Transport.send_direct`: it is
+substrate control traffic, not CUP traffic, and costs no overlay hops.
+The authority is re-resolved through the overlay on every send so that
+ownership changes from churn are honored automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.messages import ReplicaEvent, ReplicaMessage
+from repro.overlay.base import Overlay
+from repro.sim.engine import Simulator
+from repro.sim.network import Transport
+from repro.sim.process import PeriodicProcess
+
+
+class Replica:
+    """One replica serving one key's content.
+
+    Parameters
+    ----------
+    sim, transport, overlay:
+        Simulation substrate.  The overlay resolves the current authority
+        for the replica's key at every announcement.
+    key:
+        The content key this replica serves.
+    replica_id:
+        Unique identifier (also used as the index entry's value address).
+    lifetime:
+        Index entry lifetime in seconds; refreshes are sent at this
+        period, i.e. exactly at expiration.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        overlay: Overlay,
+        key: str,
+        replica_id: str,
+        lifetime: float,
+    ):
+        if lifetime <= 0:
+            raise ValueError(f"lifetime must be positive, got {lifetime}")
+        self._sim = sim
+        self._transport = transport
+        self._overlay = overlay
+        self.key = key
+        self.replica_id = replica_id
+        self.address = f"addr://{replica_id}"
+        self.lifetime = lifetime
+        self.alive = False
+        self._refresh_loop: Optional[PeriodicProcess] = None
+        self.births = 0
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def birth(self) -> None:
+        """Announce this replica and start the refresh loop."""
+        if self.alive:
+            raise RuntimeError(f"replica {self.replica_id!r} is already alive")
+        self.alive = True
+        self.births += 1
+        self._announce(ReplicaEvent.BIRTH)
+        self._refresh_loop = PeriodicProcess(
+            self._sim, self.lifetime, self._refresh
+        )
+
+    def die(self, graceful: bool = True) -> None:
+        """Stop serving: send a deletion message (graceful) or go silent.
+
+        A silent death leaves the authority to detect the failure via
+        missing keep-alives and issue the DELETE itself (§2.4).
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        if self._refresh_loop is not None:
+            self._refresh_loop.stop()
+            self._refresh_loop = None
+        if graceful:
+            self._announce(ReplicaEvent.DEATH)
+
+    def _refresh(self) -> None:
+        self.refreshes += 1
+        self._announce(ReplicaEvent.REFRESH)
+
+    def _announce(self, event: ReplicaEvent) -> None:
+        message = ReplicaMessage(
+            event=event,
+            key=self.key,
+            replica_id=self.replica_id,
+            address=self.address,
+            lifetime=self.lifetime,
+        )
+        authority = self._overlay.authority(self.key)
+        self._transport.send_direct(authority, message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"Replica({self.replica_id!r}, key={self.key!r}, {state})"
+
+
+class ReplicaSet:
+    """The replica population for an experiment.
+
+    Creates ``replicas_per_key`` replicas for every key and schedules
+    their births, staggered uniformly across one lifetime so refresh
+    traffic does not arrive in lockstep (real replicas do not synchronize
+    their announcements).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        overlay: Overlay,
+        keys: List[str],
+        replicas_per_key: int,
+        lifetime: float,
+        rng: np.random.Generator,
+        stagger: bool = True,
+    ):
+        if replicas_per_key < 0:
+            raise ValueError(
+                f"replicas_per_key must be >= 0, got {replicas_per_key}"
+            )
+        self._sim = sim
+        self.lifetime = lifetime
+        self.by_key: Dict[str, List[Replica]] = {}
+        self.all: List[Replica] = []
+        for key in keys:
+            replicas = []
+            for i in range(replicas_per_key):
+                replica = Replica(
+                    sim, transport, overlay, key,
+                    replica_id=f"{key}/r{i}", lifetime=lifetime,
+                )
+                replicas.append(replica)
+                self.all.append(replica)
+            self.by_key[key] = replicas
+        self._birth_offsets = {
+            replica.replica_id: (
+                float(rng.uniform(0.0, lifetime)) if stagger else 0.0
+            )
+            for replica in self.all
+        }
+
+    def schedule_births(self, at: float = 0.0) -> None:
+        """Schedule every replica's birth (with its stagger offset)."""
+        for replica in self.all:
+            offset = self._birth_offsets[replica.replica_id]
+            self._sim.schedule_at(at + offset, replica.birth)
+
+    def kill_fraction(
+        self,
+        fraction: float,
+        rng: np.random.Generator,
+        graceful: bool = True,
+    ) -> List[Replica]:
+        """Kill a random fraction of live replicas (failure injection)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        live = [r for r in self.all if r.alive]
+        count = int(round(fraction * len(live)))
+        victims = list(rng.choice(len(live), size=count, replace=False)) if count else []
+        killed = []
+        for index in victims:
+            replica = live[int(index)]
+            replica.die(graceful=graceful)
+            killed.append(replica)
+        return killed
+
+    def live_count(self) -> int:
+        return sum(1 for r in self.all if r.alive)
+
+    def __len__(self) -> int:
+        return len(self.all)

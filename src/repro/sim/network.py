@@ -1,0 +1,186 @@
+"""Hop-by-hop message transport with per-link delays.
+
+CUP messages (queries, updates, clear-bits) travel one overlay hop at a
+time: every intermediate node *processes* the message and decides whether
+and where to forward it.  The transport therefore only ever delivers
+between direct neighbors, and all cost accounting (the paper measures cost
+in hops) attaches here via send observers.
+
+Replica-to-authority traffic (birth/refresh/deletion messages, §2.1) is
+not overlay traffic and is not measured by the paper's cost model; it uses
+:meth:`Transport.send_direct`, which bypasses links and observers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+from repro.sim.engine import Simulator
+
+NodeId = Any
+SendObserver = Callable[[NodeId, NodeId, "Message"], None]
+
+
+class Message:
+    """Base class for everything that travels over the transport.
+
+    Subclasses set ``kind`` (a short string used by tracing and metric
+    accounting) and add payload fields.  ``hops`` counts overlay hops
+    traveled so far and is incremented by the transport on every link
+    delivery, so handlers can read path lengths directly off the message.
+    """
+
+    kind = "message"
+    __slots__ = ("hops",)
+
+    def __init__(self) -> None:
+        self.hops = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} kind={self.kind} hops={self.hops}>"
+
+
+class MessageHandler(Protocol):
+    """What the transport expects of a registered node."""
+
+    def receive(self, message: Message, sender: NodeId) -> None:
+        """Process a message delivered from direct neighbor ``sender``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class Link:
+    """A bidirectional overlay link with a fixed one-way delay."""
+
+    __slots__ = ("a", "b", "delay")
+
+    def __init__(self, a: NodeId, b: NodeId, delay: float):
+        if a == b:
+            raise ValueError(f"self-link at node {a!r}")
+        if delay < 0:
+            raise ValueError(f"negative link delay: {delay}")
+        self.a = a
+        self.b = b
+        self.delay = delay
+
+    def key(self) -> Tuple[NodeId, NodeId]:
+        """Canonical (sorted) endpoint pair used as the registry key."""
+        return (self.a, self.b) if repr(self.a) <= repr(self.b) else (self.b, self.a)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.a!r}, {self.b!r}, delay={self.delay})"
+
+
+class Transport:
+    """Registry of nodes and links; schedules message deliveries.
+
+    Parameters
+    ----------
+    sim:
+        Event engine used to schedule deliveries.
+    default_delay:
+        One-way delay applied to links created without an explicit delay
+        and to sends between endpoints with no registered link (overlays
+        that route by identifier, like Chord fingers, do not pre-register
+        every edge).
+
+    Notes
+    -----
+    Messages to unregistered destinations are silently dropped and counted
+    in :attr:`dropped`; this models delivery to a node that departed while
+    the message was in flight.
+    """
+
+    def __init__(self, sim: Simulator, default_delay: float = 0.05):
+        if default_delay < 0:
+            raise ValueError(f"negative default delay: {default_delay}")
+        self._sim = sim
+        self.default_delay = default_delay
+        self._handlers: Dict[NodeId, MessageHandler] = {}
+        self._links: Dict[Tuple[NodeId, NodeId], Link] = {}
+        self._send_observers: List[SendObserver] = []
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+
+    def register(self, node_id: NodeId, handler: MessageHandler) -> None:
+        """Attach a node.  Re-registering an id replaces its handler."""
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: NodeId) -> None:
+        """Detach a node; in-flight messages to it will be dropped."""
+        self._handlers.pop(node_id, None)
+        stale = [key for key, link in self._links.items()
+                 if link.a == node_id or link.b == node_id]
+        for key in stale:
+            del self._links[key]
+
+    def is_registered(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` currently has a handler attached."""
+        return node_id in self._handlers
+
+    def add_link(self, a: NodeId, b: NodeId, delay: Optional[float] = None) -> Link:
+        """Create (or replace) the bidirectional link between ``a`` and ``b``."""
+        link = Link(a, b, self.default_delay if delay is None else delay)
+        self._links[link.key()] = link
+        return link
+
+    def remove_link(self, a: NodeId, b: NodeId) -> None:
+        """Remove the link between ``a`` and ``b`` if present."""
+        self._links.pop(Link(a, b, 0.0).key(), None)
+
+    def link_delay(self, a: NodeId, b: NodeId) -> float:
+        """One-way delay between ``a`` and ``b`` (default if unregistered)."""
+        link = self._links.get(Link(a, b, 0.0).key())
+        return link.delay if link is not None else self.default_delay
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def add_send_observer(self, observer: SendObserver) -> None:
+        """Register a callback invoked on every overlay-hop send.
+
+        Observers fire at *send* time (before propagation delay), once per
+        hop, which is exactly the paper's hop-count accounting.
+        """
+        self._send_observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        """Send ``message`` one overlay hop from ``src`` to ``dst``.
+
+        The hop is counted (observers fire) even if the destination later
+        turns out to have departed — bandwidth was spent either way.
+        """
+        if src == dst:
+            raise ValueError(f"node {src!r} attempted to send to itself")
+        self.sent += 1
+        message.hops += 1
+        for observer in self._send_observers:
+            observer(src, dst, message)
+        delay = self.link_delay(src, dst)
+        self._sim.schedule(delay, self._deliver, src, dst, message)
+
+    def send_direct(self, dst: NodeId, message: Message, delay: float = 0.0,
+                    src: NodeId = None) -> None:
+        """Deliver off-overlay traffic (replica control messages).
+
+        Not counted as overlay hops and invisible to send observers, per
+        the paper's cost model (§3.1 counts only query/update path hops).
+        """
+        self._sim.schedule(delay, self._deliver, src, dst, message)
+
+    def _deliver(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        handler.receive(message, src)

@@ -1,0 +1,115 @@
+"""Timers and periodic processes on top of the event engine.
+
+These are the building blocks for everything in the system that acts on a
+schedule rather than in reaction to a message: replica refresh loops
+(entries are refreshed at expiration, §3.2 of the paper), capacity fault
+injectors (the Up-And-Down experiment of §3.7), cache garbage collection,
+and keep-alive exchanges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start`` schedules the callback; starting an armed timer reschedules
+    it (the previous schedule is cancelled).  This models per-entry
+    expiration watchdogs: every refresh restarts the timer.
+    """
+
+    def __init__(self, sim: Simulator, fn: Callable[..., Any], *args: Any):
+        self._sim = sim
+        self._fn = fn
+        self._args = args
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer currently has a pending firing."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer.  Idempotent."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._fn(*self._args)
+
+
+class PeriodicProcess:
+    """Invoke a callback at a fixed period until stopped.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that drives the process.
+    period:
+        Seconds between invocations.  Must be positive.
+    fn:
+        Callback invoked each period.  If it returns ``False`` the process
+        stops itself (any other return value, including ``None``,
+        continues).
+    phase:
+        Delay before the first invocation.  Defaults to one full period,
+        i.e. the first firing is at ``now + period``.
+    jitter_fn:
+        Optional zero-argument callable returning an additive jitter (in
+        seconds, may be negative but the net delay is clamped to >= 0) to
+        apply to each period.  Used to stagger replica refreshes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        fn: Callable[[], Any],
+        phase: Optional[float] = None,
+        jitter_fn: Optional[Callable[[], float]] = None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._sim = sim
+        self.period = period
+        self._fn = fn
+        self._jitter_fn = jitter_fn
+        self._event: Optional[Event] = None
+        self._stopped = False
+        first_delay = period if phase is None else phase
+        self._event = sim.schedule(max(0.0, first_delay), self._tick)
+
+    @property
+    def running(self) -> bool:
+        """Whether future firings are scheduled."""
+        return not self._stopped
+
+    def stop(self) -> None:
+        """Stop the process; no further invocations occur.  Idempotent."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        result = self._fn()
+        if result is False or self._stopped:
+            self.stop()
+            return
+        delay = self.period
+        if self._jitter_fn is not None:
+            delay = max(0.0, delay + float(self._jitter_fn()))
+        self._event = self._sim.schedule(delay, self._tick)

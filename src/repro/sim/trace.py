@@ -1,0 +1,78 @@
+"""Structured event tracing.
+
+Tracing exists for debugging and for the examples (which narrate a small
+simulation); the benchmark runs keep it disabled because recording
+millions of trace records would dominate runtime.  A disabled tracer's
+``emit`` is a near-no-op guarded by a single boolean check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+class TraceRecord:
+    """One traced occurrence: a timestamped, categorised key/value bag."""
+
+    __slots__ = ("time", "category", "fields")
+
+    def __init__(self, time: float, category: str, fields: Dict[str, Any]):
+        self.time = time
+        self.category = category
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        parts = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"[{self.time:10.4f}] {self.category}: {parts}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` (the default), ``emit`` returns immediately.
+    categories:
+        When given, only these categories are recorded.
+    sink:
+        Optional callable invoked with each record as it is emitted
+        (e.g. ``print``); records are retained in memory either way, up
+        to ``max_records``.
+    max_records:
+        Retention cap; the oldest records are discarded beyond it.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        categories: Optional[Iterable[str]] = None,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+        max_records: int = 100_000,
+    ):
+        self.enabled = enabled
+        self._categories = frozenset(categories) if categories is not None else None
+        self._sink = sink
+        self._max_records = max_records
+        self.records: List[TraceRecord] = []
+
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        """Record an occurrence if tracing is on and the category passes."""
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        record = TraceRecord(time, category, fields)
+        self.records.append(record)
+        if len(self.records) > self._max_records:
+            del self.records[: len(self.records) - self._max_records]
+        if self._sink is not None:
+            self._sink(record)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """All retained records in ``category``, in emission order."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        """Drop all retained records."""
+        self.records.clear()

@@ -1,0 +1,48 @@
+"""Workload generation: query arrivals, key popularity, faults, churn.
+
+The paper's simulations (§3.2) drive the network with Poisson query
+arrivals at a configurable aggregate rate, posted at uniformly random
+nodes, for keys drawn from a configurable distribution; replica lifetimes
+and refresh-at-expiration govern update traffic; and §3.7 injects
+capacity faults on random node subsets.
+
+* :mod:`~repro.workload.arrivals` — Poisson and deterministic arrival
+  processes (self-scheduling: no event pre-materialization).
+* :mod:`~repro.workload.keyspace` — uniform, Zipf and flash-crowd key
+  selectors.
+* :mod:`~repro.workload.generator` — the query workload driver.
+* :mod:`~repro.workload.faults` — the Up-And-Down and
+  Once-Down-Always-Down capacity fault schedules (§3.7).
+* :mod:`~repro.workload.churn` — node arrival/departure schedules (§2.9).
+"""
+
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workload.churn import ChurnSchedule
+from repro.workload.faults import (
+    CapacityFaultSchedule,
+    once_down_always_down,
+    up_and_down,
+)
+from repro.workload.generator import QueryWorkload
+from repro.workload.keyspace import (
+    FlashCrowdKeys,
+    KeySelector,
+    UniformKeys,
+    ZipfKeys,
+)
+from repro.workload.tracefile import QueryTrace
+
+__all__ = [
+    "CapacityFaultSchedule",
+    "ChurnSchedule",
+    "DeterministicArrivals",
+    "FlashCrowdKeys",
+    "KeySelector",
+    "PoissonArrivals",
+    "QueryTrace",
+    "QueryWorkload",
+    "UniformKeys",
+    "ZipfKeys",
+    "once_down_always_down",
+    "up_and_down",
+]

@@ -1,0 +1,112 @@
+"""Node arrival/departure schedules (§2.9 of the paper).
+
+The peer-to-peer model assumes nodes continuously join and leave; CUP
+must handle both seamlessly.  A :class:`ChurnSchedule` scripts membership
+events against a :class:`~repro.core.protocol.CupNetwork`-compatible
+interface (``join_node`` / ``leave_node``), either from an explicit event
+list or as a Poisson churn process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.network import NodeId
+
+
+class ChurnTarget(Protocol):
+    """What a churn schedule drives (implemented by CupNetwork)."""
+
+    def join_node(self, node_id: NodeId) -> None: ...  # pragma: no cover
+
+    def leave_node(self, node_id: NodeId, graceful: bool = True) -> None:
+        ...  # pragma: no cover
+
+    def live_node_ids(self) -> List[NodeId]: ...  # pragma: no cover
+
+
+class ChurnSchedule:
+    """Scripted or random membership events.
+
+    Explicit events are (time, action, node_id, graceful) tuples with
+    action ``"join"`` or ``"leave"``; :meth:`poisson` generates a random
+    alternating schedule instead.
+    """
+
+    def __init__(self, sim: Simulator, target: ChurnTarget):
+        self._sim = sim
+        self._target = target
+        self.log: List[Tuple[float, str, NodeId]] = []
+        self._joined_counter = 0
+
+    # ------------------------------------------------------------------
+    # Explicit scheduling
+    # ------------------------------------------------------------------
+
+    def schedule_join(self, at: float, node_id: NodeId) -> None:
+        self._sim.schedule_at(at, self._do_join, node_id)
+
+    def schedule_leave(
+        self, at: float, node_id: NodeId, graceful: bool = True
+    ) -> None:
+        self._sim.schedule_at(at, self._do_leave, node_id, graceful)
+
+    def _do_join(self, node_id: NodeId) -> None:
+        self._target.join_node(node_id)
+        self.log.append((self._sim.now, "join", node_id))
+
+    def _do_leave(self, node_id: NodeId, graceful: bool) -> None:
+        if node_id not in self._target.live_node_ids():
+            return  # departed already (e.g. a duplicate event)
+        self._target.leave_node(node_id, graceful=graceful)
+        self.log.append(
+            (self._sim.now, "leave" if graceful else "fail", node_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Random churn
+    # ------------------------------------------------------------------
+
+    def poisson(
+        self,
+        rate: float,
+        start: float,
+        end: float,
+        rng: np.random.Generator,
+        join_fraction: float = 0.5,
+        graceful_fraction: float = 0.5,
+        name_prefix: str = "churn",
+    ) -> int:
+        """Schedule Poisson membership events in ``[start, end)``.
+
+        Each event is a join with probability ``join_fraction`` (a brand
+        new node) or otherwise a departure of a uniformly random live
+        node, graceful with probability ``graceful_fraction``.  Returns
+        the number of events scheduled.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        count = 0
+        t = start
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= end:
+                return count
+            if rng.random() < join_fraction:
+                self._joined_counter += 1
+                node_id = f"{name_prefix}-{self._joined_counter}"
+                self.schedule_join(t, node_id)
+            else:
+                graceful = bool(rng.random() < graceful_fraction)
+                self._sim.schedule_at(t, self._leave_random, rng, graceful)
+            count += 1
+
+    def _leave_random(self, rng: np.random.Generator, graceful: bool) -> None:
+        members = self._target.live_node_ids()
+        if len(members) <= 2:
+            return  # keep a routable network
+        victim = members[int(rng.integers(len(members)))]
+        self._do_leave(victim, graceful)

@@ -1,0 +1,135 @@
+"""Capacity fault schedules (§3.7 of the paper).
+
+The paper studies CUP when nodes cannot propagate all updates:
+
+* **Up-And-Down** — after a five-minute warm-up, a random twenty percent
+  of nodes drop to reduced capacity for ten minutes, then recover; after
+  five minutes of stability another random set drops; repeating through
+  the query phase.
+* **Once-Down-Always-Down** — after the warm-up, the randomly selected
+  nodes drop and stay degraded for the rest of the run.
+
+A schedule is a list of timed actions on node subsets; it applies them by
+swapping each victim's :class:`~repro.core.channels.CapacityConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.channels import CapacityConfig
+from repro.sim.engine import Simulator
+from repro.sim.network import NodeId
+
+SetCapacityFn = Callable[[NodeId, CapacityConfig], None]
+
+
+class CapacityFaultSchedule:
+    """Timed capacity reductions over random node subsets.
+
+    Parameters
+    ----------
+    sim:
+        Event engine.
+    node_ids:
+        The population to draw victims from.
+    set_capacity:
+        Callback applying a capacity to one node.
+    fraction:
+        Share of nodes degraded per episode (paper: 0.2).
+    reduced:
+        Capacity fraction during an episode (paper's ``c``; 0.0 means the
+        victims push no maintenance updates at all).
+    rng:
+        Stream for victim selection.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_ids: Sequence[NodeId],
+        set_capacity: SetCapacityFn,
+        fraction: float,
+        reduced: float,
+        rng: np.random.Generator,
+    ):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not 0.0 <= reduced <= 1.0:
+            raise ValueError(f"reduced must be in [0, 1], got {reduced}")
+        self._sim = sim
+        self._node_ids = list(node_ids)
+        self._set_capacity = set_capacity
+        self.fraction = fraction
+        self.reduced = reduced
+        self._rng = rng
+        self._degraded: List[NodeId] = []
+        #: (time, event) log for tests and narrations.
+        self.log: List[Tuple[float, str]] = []
+
+    # ------------------------------------------------------------------
+    # Episode primitives
+    # ------------------------------------------------------------------
+
+    def _pick_victims(self) -> List[NodeId]:
+        count = int(round(self.fraction * len(self._node_ids)))
+        if count == 0:
+            return []
+        indexes = self._rng.choice(len(self._node_ids), size=count, replace=False)
+        return [self._node_ids[int(i)] for i in indexes]
+
+    def degrade(self) -> None:
+        """Start an episode: select victims and reduce their capacity."""
+        self.restore()
+        self._degraded = self._pick_victims()
+        for node_id in self._degraded:
+            self._set_capacity(node_id, CapacityConfig(fraction=self.reduced))
+        self.log.append((self._sim.now, f"degrade {len(self._degraded)} nodes"))
+
+    def restore(self) -> None:
+        """End the current episode: restore victims to full capacity."""
+        for node_id in self._degraded:
+            self._set_capacity(node_id, CapacityConfig())
+        if self._degraded:
+            self.log.append(
+                (self._sim.now, f"restore {len(self._degraded)} nodes")
+            )
+        self._degraded = []
+
+    @property
+    def currently_degraded(self) -> List[NodeId]:
+        return list(self._degraded)
+
+
+def up_and_down(
+    schedule: CapacityFaultSchedule,
+    start: float,
+    end: float,
+    warmup: float = 300.0,
+    down_for: float = 600.0,
+    stable_for: float = 300.0,
+) -> None:
+    """Arrange the paper's Up-And-Down episodes on ``schedule``.
+
+    After ``warmup`` seconds past ``start``: degrade for ``down_for``
+    seconds, restore, wait ``stable_for`` seconds, repeat with a fresh
+    random victim set, through ``end``.
+    """
+    t = start + warmup
+    while t < end:
+        schedule._sim.schedule_at(t, schedule.degrade)
+        restore_at = min(t + down_for, end)
+        schedule._sim.schedule_at(restore_at, schedule.restore)
+        t = restore_at + stable_for
+
+
+def once_down_always_down(
+    schedule: CapacityFaultSchedule, start: float, warmup: float = 300.0
+) -> None:
+    """Arrange the paper's Once-Down-Always-Down single episode.
+
+    After the warm-up the selected nodes degrade and never recover.
+    """
+    schedule._sim.schedule_at(start + warmup, schedule.degrade)

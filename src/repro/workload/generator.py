@@ -1,0 +1,115 @@
+"""The query workload driver.
+
+Couples an arrival process to a key selector and a node selector and
+posts each query at its node as a simulation event.  Scheduling is
+self-perpetuating — each arrival schedules the next — so memory use is
+O(1) in the number of queries, and a λ=1000 q/s × 3000 s run (three
+million queries, §3.2's heaviest operating point) stays tractable.
+
+Nodes are "randomly selected to post the queries" (§3.2); the default
+node selector draws uniformly from the network's current membership so
+churn is handled naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.network import NodeId
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.keyspace import KeySelector
+
+PostFn = Callable[[NodeId, str], None]
+NodeSelector = Callable[[float], NodeId]
+
+
+class QueryWorkload:
+    """Posts queries into the network for a bounded time window.
+
+    Parameters
+    ----------
+    sim:
+        Event engine.
+    arrivals:
+        Arrival process (``next_gap`` protocol); ``StopIteration`` ends
+        the workload early.
+    key_selector:
+        Which key each query asks for.
+    node_selector:
+        Which node posts it (a callable of the current time, so churn-
+        aware selectors can consult live membership).
+    post_fn:
+        Callback ``(node_id, key)`` that injects the query.
+    start, duration:
+        The query phase: first arrival no earlier than ``start``, no
+        arrivals at or beyond ``start + duration``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        arrivals: PoissonArrivals,
+        key_selector: KeySelector,
+        node_selector: NodeSelector,
+        post_fn: PostFn,
+        start: float,
+        duration: float,
+    ):
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self._sim = sim
+        self._arrivals = arrivals
+        self._keys = key_selector
+        self._nodes = node_selector
+        self._post = post_fn
+        self.start = start
+        self.end = start + duration
+        self.posted = 0
+        self._stopped = False
+
+    def begin(self) -> None:
+        """Schedule the first arrival; call once before running the sim."""
+        self._schedule_next(self.start)
+
+    def stop(self) -> None:
+        """Stop issuing further queries (already-posted ones stand)."""
+        self._stopped = True
+
+    def _schedule_next(self, not_before: float) -> None:
+        if self._stopped:
+            return
+        try:
+            gap = self._arrivals.next_gap()
+        except StopIteration:
+            return
+        at = max(not_before, self._sim.now) + gap
+        if at >= self.end:
+            return
+        self._sim.schedule_at(at, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        now = self._sim.now
+        node = self._nodes(now)
+        key = self._keys.select(now)
+        self.posted += 1
+        self._post(node, key)
+        self._schedule_next(now)
+
+
+def uniform_node_selector(
+    members_fn: Callable[[], List[NodeId]], rng: np.random.Generator
+) -> NodeSelector:
+    """Uniform choice over current membership (re-read every arrival)."""
+
+    def select(now: float) -> NodeId:
+        members = members_fn()
+        if not members:
+            raise RuntimeError("no live nodes to post a query at")
+        return members[int(rng.integers(len(members)))]
+
+    return select

@@ -1,0 +1,110 @@
+"""Key selection: which key does each query ask for?
+
+The paper's simulator takes "the distribution of queries for keys" as an
+input (§3.2) without pinning one down; the experiments sweep query rates
+against it.  We provide the standard choices:
+
+* :class:`UniformKeys` — every key equally likely (the least favorable
+  case for CUP, since popularity concentrates nowhere).
+* :class:`ZipfKeys` — rank-frequency power law, the canonical model for
+  content popularity in P2P and web workloads.
+* :class:`FlashCrowdKeys` — a time-windowed hot spot over a base
+  distribution, modelling the paper's "keys that become suddenly hot"
+  (§3.2) and the flash-crowd scenario of §2.8.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+import numpy as np
+
+
+class KeySelector(ABC):
+    """Draws the key for each query arrival (may depend on sim time)."""
+
+    @abstractmethod
+    def select(self, now: float) -> str:
+        """The key queried by an arrival at simulation time ``now``."""
+
+
+class UniformKeys(KeySelector):
+    """Uniformly random key per query."""
+
+    def __init__(self, keys: Sequence[str], rng: np.random.Generator):
+        if not keys:
+            raise ValueError("need at least one key")
+        self._keys = list(keys)
+        self._rng = rng
+
+    def select(self, now: float) -> str:
+        return self._keys[int(self._rng.integers(len(self._keys)))]
+
+
+class ZipfKeys(KeySelector):
+    """Zipf(s) popularity over a finite key set.
+
+    Key at popularity rank ``r`` (1-based) is drawn with probability
+    proportional to ``r**-s``.  Ranks are assigned by a seeded shuffle so
+    the hot keys are not systematically the lexicographically first ones
+    (which would correlate hot keys with authority placement).
+    """
+
+    def __init__(self, keys: Sequence[str], s: float, rng: np.random.Generator):
+        if not keys:
+            raise ValueError("need at least one key")
+        if s < 0:
+            raise ValueError(f"Zipf exponent must be >= 0, got {s}")
+        self._keys: List[str] = list(keys)
+        rng.shuffle(self._keys)
+        self.s = s
+        weights = np.arange(1, len(self._keys) + 1, dtype=float) ** -s
+        self._cdf = np.cumsum(weights / weights.sum())
+        self._rng = rng
+
+    def select(self, now: float) -> str:
+        u = self._rng.random()
+        index = int(np.searchsorted(self._cdf, u, side="left"))
+        return self._keys[min(index, len(self._keys) - 1)]
+
+    def probability(self, rank: int) -> float:
+        """Selection probability of the key at 1-based rank ``rank``."""
+        if not 1 <= rank <= len(self._keys):
+            raise ValueError(f"rank out of range: {rank}")
+        lo = self._cdf[rank - 2] if rank >= 2 else 0.0
+        return float(self._cdf[rank - 1] - lo)
+
+
+class FlashCrowdKeys(KeySelector):
+    """A hot key grabs a probability share during a time window.
+
+    Outside ``[start, end)`` selection falls through to the base
+    selector; inside, each query targets ``hot_key`` with probability
+    ``hot_share`` and falls through otherwise.
+    """
+
+    def __init__(
+        self,
+        base: KeySelector,
+        hot_key: str,
+        start: float,
+        end: float,
+        hot_share: float,
+        rng: np.random.Generator,
+    ):
+        if not 0.0 <= hot_share <= 1.0:
+            raise ValueError(f"hot_share must be in [0, 1], got {hot_share}")
+        if end <= start:
+            raise ValueError(f"empty flash-crowd window: [{start}, {end})")
+        self._base = base
+        self.hot_key = hot_key
+        self.start = start
+        self.end = end
+        self.hot_share = hot_share
+        self._rng = rng
+
+    def select(self, now: float) -> str:
+        if self.start <= now < self.end and self._rng.random() < self.hot_share:
+            return self.hot_key
+        return self._base.select(now)

@@ -1,0 +1,8 @@
+"""Pytest configuration: make tests/ importable as a module directory."""
+
+import sys
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).parent
+if str(TESTS_DIR) not in sys.path:
+    sys.path.insert(0, str(TESTS_DIR))

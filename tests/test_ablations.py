@@ -1,0 +1,81 @@
+"""Tests for the ablation harnesses at tiny scale."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationResult,
+    run_aggregation_ablation,
+    run_capacity_mechanism_ablation,
+    run_coalescing_ablation,
+    run_overlay_ablation,
+    run_zipf_ablation,
+)
+from repro.experiments.config import TINY
+
+
+class TestAblationResult:
+    def test_table_and_expectations(self):
+        result = AblationResult("Demo", ["a", "b"])
+        result.add_row("x", 1)
+        result.expect("claim", True)
+        report = result.report()
+        assert "Demo" in report
+        assert "[PASS] claim" in report
+        assert result.all_expectations_hold()
+
+    def test_failed_expectation_surfaces(self):
+        result = AblationResult("Demo", ["a"])
+        result.expect("broken claim", False)
+        assert not result.all_expectations_hold()
+        assert "[FAIL] broken claim" in result.report()
+
+
+class TestCoalescingAblation:
+    def test_runs_and_holds(self):
+        result = run_coalescing_ablation(TINY, paper_rate=10.0, seed=7)
+        assert result.all_expectations_hold(), result.report()
+        assert len(result.rows) == 3
+
+    def test_variant_labels_present(self):
+        result = run_coalescing_ablation(TINY, paper_rate=10.0, seed=7)
+        table = result.format_table()
+        assert "standard (open connections)" in table
+        assert "full CUP" in table
+
+
+class TestOverlayAblation:
+    def test_runs_and_holds(self):
+        result = run_overlay_ablation(TINY, paper_rate=1.0, seed=7)
+        assert result.all_expectations_hold(), result.report()
+        table = result.format_table()
+        assert "can" in table and "chord" in table
+
+
+class TestCapacityMechanismAblation:
+    def test_runs_and_holds(self):
+        result = run_capacity_mechanism_ablation(TINY, paper_rate=10.0, seed=7)
+        assert result.all_expectations_hold(), result.report()
+        table = result.format_table()
+        assert "rate pump" in table
+        assert "fractional" in table
+
+
+class TestAggregationAblation:
+    def test_runs_and_holds(self):
+        result = run_aggregation_ablation(
+            TINY, paper_rate=1.0, replicas=5, seed=7
+        )
+        assert result.all_expectations_hold(), result.report()
+        table = result.format_table()
+        assert "aggregate" in table
+        assert "sample" in table
+
+
+class TestZipfAblation:
+    def test_runs_and_holds(self):
+        result = run_zipf_ablation(
+            TINY, paper_rate=10.0, total_keys=8, exponents=(0.0, 1.4),
+            seed=7,
+        )
+        assert result.all_expectations_hold(), result.report()
+        assert len(result.rows) == 2

@@ -1,0 +1,156 @@
+"""Unit tests for the authority node's local index directory."""
+
+import pytest
+
+from repro.core.messages import ReplicaEvent, ReplicaMessage, UpdateType
+from repro.replicas.authority import AuthorityIndex
+
+
+def message(event, key="k", replica="k/r0", lifetime=100.0):
+    return ReplicaMessage(event, key, replica, f"addr://{replica}", lifetime)
+
+
+class TestBirth:
+    def test_birth_creates_entry_and_append(self):
+        index = AuthorityIndex()
+        update = index.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        assert update.update_type == UpdateType.APPEND
+        assert index.owns("k")
+        assert len(index.entries("k")) == 1
+
+    def test_duplicate_birth_degenerates_to_refresh(self):
+        index = AuthorityIndex()
+        index.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        update = index.apply_replica_message(message(ReplicaEvent.BIRTH), now=1.0)
+        assert update.update_type == UpdateType.REFRESH
+
+    def test_sequences_increase(self):
+        index = AuthorityIndex()
+        first = index.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        second = index.apply_replica_message(
+            message(ReplicaEvent.REFRESH), now=1.0
+        )
+        assert second.entries[0].sequence > first.entries[0].sequence
+
+
+class TestRefresh:
+    def test_refresh_rebases_lifetime(self):
+        index = AuthorityIndex()
+        index.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        index.apply_replica_message(message(ReplicaEvent.REFRESH), now=100.0)
+        [entry] = index.fresh_entries("k", now=150.0)
+        assert entry.timestamp == 100.0
+
+    def test_refresh_of_unknown_replica_is_append(self):
+        index = AuthorityIndex()
+        update = index.apply_replica_message(
+            message(ReplicaEvent.REFRESH), now=0.0
+        )
+        assert update.update_type == UpdateType.APPEND
+
+
+class TestDeath:
+    def test_death_removes_and_propagates_delete(self):
+        index = AuthorityIndex()
+        index.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        update = index.apply_replica_message(message(ReplicaEvent.DEATH), now=1.0)
+        assert update.update_type == UpdateType.DELETE
+        assert not index.owns("k")
+
+    def test_death_of_unknown_replica_is_silent(self):
+        index = AuthorityIndex()
+        assert index.apply_replica_message(message(ReplicaEvent.DEATH), 0.0) is None
+
+    def test_delete_carries_old_entry(self):
+        index = AuthorityIndex()
+        index.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        update = index.apply_replica_message(message(ReplicaEvent.DEATH), now=1.0)
+        assert update.entries[0].replica_id == "k/r0"
+
+
+class TestSweep:
+    def test_sweep_deletes_silent_replicas(self):
+        index = AuthorityIndex()
+        index.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        index.apply_replica_message(
+            message(ReplicaEvent.BIRTH, replica="k/r1"), now=0.0
+        )
+        index.apply_replica_message(
+            message(ReplicaEvent.REFRESH, replica="k/r1"), now=90.0
+        )
+        deletes = index.sweep_expired(now=120.0)  # r0 expired, r1 refreshed
+        assert [u.entries[0].replica_id for u in deletes] == ["k/r0"]
+        assert [e.replica_id for e in index.entries("k")] == ["k/r1"]
+
+    def test_sweep_empty_index(self):
+        assert AuthorityIndex().sweep_expired(0.0) == []
+
+
+class TestFreshness:
+    def test_fresh_entries_respects_expiry(self):
+        index = AuthorityIndex()
+        index.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        assert index.fresh_entries("k", now=50.0)
+        assert index.fresh_entries("k", now=150.0) == []
+
+    def test_entry_count(self):
+        index = AuthorityIndex()
+        index.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        index.apply_replica_message(
+            message(ReplicaEvent.BIRTH, key="j", replica="j/r0"), now=0.0
+        )
+        assert index.entry_count() == 2
+
+
+class TestHandover:
+    def test_extract_removes_slices(self):
+        index = AuthorityIndex()
+        index.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        index.apply_replica_message(
+            message(ReplicaEvent.BIRTH, key="j", replica="j/r0"), now=0.0
+        )
+        extracted = index.extract_keys(["k"])
+        assert set(extracted) == {"k"}
+        assert not index.owns("k")
+        assert index.owns("j")
+
+    def test_extract_unknown_keys_ignored(self):
+        assert AuthorityIndex().extract_keys(["nope"]) == {}
+
+    def test_absorb_merges_and_dedupes_by_sequence(self):
+        donor = AuthorityIndex()
+        donor.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        donor.apply_replica_message(message(ReplicaEvent.REFRESH), now=10.0)
+
+        taker = AuthorityIndex()
+        taker.apply_replica_message(message(ReplicaEvent.BIRTH), now=5.0)
+
+        slices = donor.extract_keys(["k"])
+        accepted = taker.absorb(slices)
+        assert accepted == 1
+        [entry] = taker.entries("k")
+        assert entry.timestamp == 10.0  # the newer sequence won
+
+    def test_absorb_keeps_newer_local_copy(self):
+        donor = AuthorityIndex()
+        donor.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+
+        taker = AuthorityIndex()
+        taker.apply_replica_message(message(ReplicaEvent.BIRTH), now=5.0)
+        taker.apply_replica_message(message(ReplicaEvent.REFRESH), now=6.0)
+
+        taker.absorb(donor.extract_keys(["k"]))
+        [entry] = taker.entries("k")
+        assert entry.timestamp == 6.0
+
+    def test_absorb_continues_sequence_numbering(self):
+        donor = AuthorityIndex()
+        donor.apply_replica_message(message(ReplicaEvent.BIRTH), now=0.0)
+        donor.apply_replica_message(message(ReplicaEvent.REFRESH), now=10.0)
+
+        taker = AuthorityIndex()
+        taker.absorb(donor.extract_keys(["k"]))
+        update = taker.apply_replica_message(
+            message(ReplicaEvent.REFRESH), now=20.0
+        )
+        assert update.entries[0].sequence == 3  # continues past donor's 2

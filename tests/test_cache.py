@@ -1,0 +1,178 @@
+"""Unit tests for per-key node state and the node cache."""
+
+from repro.core.cache import KeyState, NodeCache
+from repro.core.entry import IndexEntry
+
+
+def entry(replica="k/r0", timestamp=0.0, lifetime=100.0, seq=0):
+    return IndexEntry("k", replica, f"addr://{replica}", lifetime, timestamp, seq)
+
+
+class TestEntryManagement:
+    def test_apply_entry_inserts(self):
+        state = KeyState("k")
+        assert state.apply_entry(entry())
+        assert state.entries["k/r0"].sequence == 0
+
+    def test_apply_entry_newer_sequence_wins(self):
+        state = KeyState("k")
+        state.apply_entry(entry(seq=1))
+        assert state.apply_entry(entry(seq=2, timestamp=50.0))
+        assert state.entries["k/r0"].timestamp == 50.0
+
+    def test_apply_entry_stale_sequence_rejected(self):
+        state = KeyState("k")
+        state.apply_entry(entry(seq=5))
+        assert not state.apply_entry(entry(seq=4, timestamp=99.0))
+        assert state.entries["k/r0"].timestamp == 0.0
+
+    def test_apply_entry_equal_sequence_rejected(self):
+        state = KeyState("k")
+        state.apply_entry(entry(seq=5))
+        assert not state.apply_entry(entry(seq=5))
+
+    def test_remove_entry(self):
+        state = KeyState("k")
+        state.apply_entry(entry())
+        assert state.remove_entry("k/r0")
+        assert not state.remove_entry("k/r0")
+
+    def test_fresh_entries_filters_expired(self):
+        state = KeyState("k")
+        state.apply_entry(entry(replica="k/r0", lifetime=10.0))
+        state.apply_entry(entry(replica="k/r1", lifetime=100.0))
+        fresh = state.fresh_entries(now=50.0)
+        assert [e.replica_id for e in fresh] == ["k/r1"]
+
+    def test_has_fresh_and_all_expired(self):
+        state = KeyState("k")
+        assert not state.has_fresh(0.0)
+        assert not state.all_expired(0.0)  # empty cache is not "expired"
+        state.apply_entry(entry(lifetime=10.0))
+        assert state.has_fresh(5.0)
+        assert state.all_expired(20.0)
+
+    def test_purge_expired(self):
+        state = KeyState("k")
+        state.apply_entry(entry(replica="k/r0", lifetime=10.0))
+        state.apply_entry(entry(replica="k/r1", lifetime=100.0))
+        assert state.purge_expired(now=50.0) == 1
+        assert list(state.entries) == ["k/r1"]
+
+
+class TestInterestBits:
+    def test_register_and_clear(self):
+        state = KeyState("k")
+        state.register_interest("n1")
+        assert "n1" in state.interest
+        assert state.clear_interest("n1")
+        assert not state.clear_interest("n1")
+
+    def test_drop_departed_neighbors(self):
+        state = KeyState("k")
+        state.interest.update({"a", "b", "c"})
+        state.waiting.update({"a", "c"})
+        state.drop_departed_neighbors({"a", "b"})
+        assert state.interest == {"a", "b"}
+        assert state.waiting == {"a"}
+
+
+class TestJustification:
+    def test_query_settles_open_windows(self):
+        state = KeyState("k")
+        state.record_justification_window(100.0)
+        state.record_justification_window(200.0)
+        justified, unjustified = state.settle_justification(now=150.0)
+        assert (justified, unjustified) == (1, 1)
+        assert not state.justification_deadlines
+
+    def test_expire_justification_counts_closed(self):
+        state = KeyState("k")
+        state.record_justification_window(10.0)
+        state.record_justification_window(300.0)
+        assert state.expire_justification(now=50.0) == 1
+        assert len(state.justification_deadlines) == 1
+
+    def test_window_retention_capped(self):
+        state = KeyState("k")
+        for i in range(KeyState.MAX_JUSTIFICATION_WINDOWS + 10):
+            state.record_justification_window(float(i))
+        assert (
+            len(state.justification_deadlines)
+            == KeyState.MAX_JUSTIFICATION_WINDOWS
+        )
+
+
+class TestLifecycle:
+    def test_empty_state_discardable(self):
+        assert KeyState("k").is_discardable(now=0.0)
+
+    def test_pending_state_not_discardable(self):
+        state = KeyState("k")
+        state.pending_first_update = True
+        assert not state.is_discardable(0.0)
+
+    def test_interested_state_not_discardable(self):
+        state = KeyState("k")
+        state.register_interest("n1")
+        assert not state.is_discardable(0.0)
+
+    def test_fresh_entries_not_discardable(self):
+        state = KeyState("k")
+        state.apply_entry(entry(lifetime=100.0))
+        assert not state.is_discardable(50.0)
+        assert state.is_discardable(150.0)
+
+    def test_local_waiters_not_discardable(self):
+        state = KeyState("k")
+        state.local_waiters = 1
+        assert not state.is_discardable(0.0)
+
+
+class TestNodeCache:
+    def test_get_or_create_idempotent(self):
+        cache = NodeCache()
+        assert cache.get_or_create("k") is cache.get_or_create("k")
+        assert len(cache) == 1
+
+    def test_get_missing_returns_none(self):
+        assert NodeCache().get("k") is None
+
+    def test_contains_and_iter(self):
+        cache = NodeCache()
+        cache.get_or_create("a")
+        cache.get_or_create("b")
+        assert "a" in cache
+        assert {s.key for s in cache} == {"a", "b"}
+
+    def test_gc_drops_expired_stateless_keys(self):
+        cache = NodeCache()
+        state = cache.get_or_create("k")
+        state.apply_entry(entry(lifetime=10.0))
+        busy = cache.get_or_create("busy")
+        busy.register_interest("n1")
+        assert cache.gc(now=100.0) == 1
+        assert "k" not in cache
+        assert "busy" in cache
+
+    def test_gc_purges_expired_entries_of_kept_keys(self):
+        cache = NodeCache()
+        state = cache.get_or_create("k")
+        state.apply_entry(entry(replica="k/r0", lifetime=10.0))
+        state.register_interest("n1")
+        cache.gc(now=100.0)
+        assert state.entries == {}
+
+    def test_patch_interest_after_churn(self):
+        cache = NodeCache()
+        a = cache.get_or_create("a")
+        a.interest.update({"n1", "dead"})
+        cache.patch_interest_after_churn({"n1", "n2"})
+        assert a.interest == {"n1"}
+
+    def test_discard(self):
+        cache = NodeCache()
+        cache.get_or_create("k")
+        cache.discard("k")
+        cache.discard("k")  # idempotent
+        assert "k" not in cache

@@ -1,0 +1,214 @@
+"""Unit tests for the CAN overlay: grids, joins, leaves, routing."""
+
+import pytest
+
+from repro.overlay.base import RoutingError
+from repro.overlay.can import CanOverlay
+
+
+def total_volume(overlay):
+    return sum(
+        zone.volume()
+        for node_id in overlay.node_ids()
+        for zone in overlay.state(node_id).zones
+    )
+
+
+def assert_partition(overlay, samples=200):
+    """Zones must tile the space: volumes sum to 1, every sampled point
+    has exactly one owner."""
+    assert total_volume(overlay) == pytest.approx(1.0)
+    for i in range(samples):
+        point = ((i * 0.618) % 1.0, (i * 0.382) % 1.0)
+        owners = [
+            node_id
+            for node_id in overlay.node_ids()
+            if overlay.state(node_id).contains(point)
+        ]
+        assert len(owners) == 1, f"point {point} owned by {owners}"
+
+
+def assert_symmetric_neighbors(overlay):
+    for node_id in overlay.node_ids():
+        for neighbor in overlay.neighbors(node_id):
+            assert node_id in set(overlay.neighbors(neighbor))
+
+
+class TestPerfectGrid:
+    def test_grid_sizes(self):
+        for n in (1, 2, 4, 8, 64, 256):
+            overlay = CanOverlay.perfect_grid(n)
+            assert len(list(overlay.node_ids())) == n
+
+    def test_grid_partitions_space(self):
+        assert_partition(CanOverlay.perfect_grid(64))
+
+    def test_grid_neighbors_symmetric(self):
+        assert_symmetric_neighbors(CanOverlay.perfect_grid(64))
+
+    def test_grid_node_has_four_neighbors(self):
+        overlay = CanOverlay.perfect_grid(64)
+        for node_id in overlay.node_ids():
+            assert len(list(overlay.neighbors(node_id))) == 4
+
+    def test_two_node_grid(self):
+        overlay = CanOverlay.perfect_grid(2)
+        assert set(overlay.neighbors(0)) == {1}
+        assert set(overlay.neighbors(1)) == {0}
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            CanOverlay.perfect_grid(100)
+
+    def test_routing_reaches_authority(self):
+        overlay = CanOverlay.perfect_grid(64)
+        for i in range(20):
+            key = f"key-{i}"
+            authority = overlay.authority(key)
+            for start in (0, 17, 42, 63):
+                path = overlay.route(start, key)
+                assert path[0] == start
+                assert path[-1] == authority
+
+    def test_routes_are_simple_paths(self):
+        overlay = CanOverlay.perfect_grid(256)
+        for i in range(10):
+            path = overlay.route(0, f"key-{i}")
+            assert len(path) == len(set(path))
+
+    def test_route_hops_are_neighbor_edges(self):
+        overlay = CanOverlay.perfect_grid(64)
+        path = overlay.route(0, "some-key")
+        for a, b in zip(path, path[1:]):
+            assert b in set(overlay.neighbors(a))
+
+    def test_distance_bounded_by_grid_diameter(self):
+        overlay = CanOverlay.perfect_grid(64)  # 8x8 torus: diameter 8
+        for i in range(20):
+            for start in (0, 27, 63):
+                assert overlay.distance(start, f"key-{i}") <= 8
+
+    def test_authority_is_stable_and_cached(self):
+        overlay = CanOverlay.perfect_grid(16)
+        assert overlay.authority("k") == overlay.authority("k")
+
+    def test_next_hop_none_at_authority(self):
+        overlay = CanOverlay.perfect_grid(16)
+        authority = overlay.authority("k")
+        assert overlay.next_hop(authority, "k") is None
+
+
+class TestJoin:
+    def test_first_join_owns_everything(self):
+        overlay = CanOverlay()
+        overlay.join("solo")
+        assert_partition(overlay, samples=20)
+
+    def test_join_splits_owner(self):
+        overlay = CanOverlay()
+        overlay.join("a")
+        overlay.join("b", point=(0.75, 0.5))
+        assert_partition(overlay, samples=50)
+        assert set(overlay.neighbors("a")) == {"b"}
+        assert set(overlay.neighbors("b")) == {"a"}
+
+    def test_join_returns_split_owner(self):
+        overlay = CanOverlay()
+        overlay.join("a")
+        owner = overlay.join("b", point=(0.75, 0.5))
+        assert owner == "a"
+
+    def test_many_joins_keep_invariants(self):
+        overlay = CanOverlay()
+        for i in range(40):
+            overlay.join(f"n{i}")
+        assert_partition(overlay)
+        assert_symmetric_neighbors(overlay)
+
+    def test_duplicate_join_rejected(self):
+        overlay = CanOverlay()
+        overlay.join("a")
+        with pytest.raises(ValueError):
+            overlay.join("a")
+
+    def test_join_bumps_epoch(self):
+        overlay = CanOverlay()
+        overlay.join("a")
+        before = overlay.epoch
+        overlay.join("b")
+        assert overlay.epoch > before
+
+    def test_routing_after_joins(self):
+        overlay = CanOverlay()
+        for i in range(25):
+            overlay.join(f"n{i}")
+        for i in range(10):
+            key = f"key-{i}"
+            path = overlay.route("n3", key)
+            assert path[-1] == overlay.authority(key)
+
+
+class TestLeave:
+    def build(self, n=20):
+        overlay = CanOverlay()
+        for i in range(n):
+            overlay.join(f"n{i}")
+        return overlay
+
+    def test_leave_preserves_partition(self):
+        overlay = self.build()
+        overlay.leave("n7")
+        assert_partition(overlay)
+        assert_symmetric_neighbors(overlay)
+
+    def test_leave_returns_takers(self):
+        overlay = self.build()
+        takers = overlay.leave("n7")
+        assert takers
+        for taker, zone in takers:
+            assert taker in overlay
+            assert any(
+                z.contains(zone.center()) for z in overlay.state(taker).zones
+            )
+
+    def test_leave_unknown_rejected(self):
+        overlay = self.build(4)
+        with pytest.raises(ValueError):
+            overlay.leave("ghost")
+
+    def test_routing_after_leaves(self):
+        overlay = self.build(30)
+        for victim in ("n5", "n12", "n20"):
+            overlay.leave(victim)
+        assert_partition(overlay)
+        for i in range(10):
+            key = f"key-{i}"
+            path = overlay.route("n0", key)
+            assert path[-1] == overlay.authority(key)
+
+    def test_churn_storm_keeps_invariants(self):
+        overlay = self.build(16)
+        for i in range(16, 28):
+            overlay.join(f"n{i}")
+            overlay.leave(f"n{i - 16}")
+        assert_partition(overlay)
+        assert_symmetric_neighbors(overlay)
+
+    def test_leave_to_single_node(self):
+        overlay = CanOverlay()
+        overlay.join("a")
+        overlay.join("b")
+        overlay.leave("b")
+        assert_partition(overlay, samples=20)
+        assert list(overlay.node_ids()) == ["a"]
+
+    def test_leave_last_node_empties_overlay(self):
+        overlay = CanOverlay()
+        overlay.join("a")
+        overlay.leave("a")
+        assert len(list(overlay.node_ids())) == 0
+
+    def test_routing_stuck_raises_on_empty(self):
+        overlay = CanOverlay()
+        with pytest.raises(RoutingError):
+            overlay.authority("k")

@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for CAN invariants.
+
+These are the safety net behind the greedy-routing argument: whatever
+membership history a CAN goes through, its zones must tile the torus and
+greedy routing must terminate at the authority for any key.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.can import CanOverlay
+
+# Join points with a few decimal places keep examples readable; the
+# overlay itself always splits on dyadic boundaries.
+points = st.tuples(
+    st.floats(min_value=0.0, max_value=0.9990234375, allow_nan=False),
+    st.floats(min_value=0.0, max_value=0.9990234375, allow_nan=False),
+)
+
+
+def build_overlay(join_points):
+    overlay = CanOverlay()
+    overlay.join("n0")
+    for i, point in enumerate(join_points, start=1):
+        overlay.join(f"n{i}", point=point)
+    return overlay
+
+
+@given(st.lists(points, min_size=0, max_size=24))
+@settings(max_examples=60, deadline=None)
+def test_zones_always_tile_the_space(join_points):
+    overlay = build_overlay(join_points)
+    volume = sum(
+        zone.volume()
+        for node_id in overlay.node_ids()
+        for zone in overlay.state(node_id).zones
+    )
+    assert abs(volume - 1.0) < 1e-9
+
+
+@given(st.lists(points, min_size=0, max_size=24), points)
+@settings(max_examples=60, deadline=None)
+def test_every_point_has_exactly_one_owner(join_points, probe):
+    overlay = build_overlay(join_points)
+    owners = [
+        node_id
+        for node_id in overlay.node_ids()
+        if overlay.state(node_id).contains(probe)
+    ]
+    assert len(owners) == 1
+
+
+@given(
+    st.lists(points, min_size=1, max_size=20),
+    st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_routing_terminates_at_authority_from_every_node(join_points, key):
+    overlay = build_overlay(join_points)
+    authority = overlay.authority(key)
+    for node_id in overlay.node_ids():
+        path = overlay.route(node_id, key)
+        assert path[-1] == authority
+        assert len(path) == len(set(path)), "route revisited a node"
+
+
+@given(st.lists(points, min_size=4, max_size=20), st.data())
+@settings(max_examples=40, deadline=None)
+def test_leave_preserves_partition_and_routing(join_points, data):
+    overlay = build_overlay(join_points)
+    names = list(overlay.node_ids())
+    victim = data.draw(st.sampled_from(names))
+    survivors = [n for n in names if n != victim]
+    if not survivors:
+        return
+    overlay.leave(victim)
+    volume = sum(
+        zone.volume()
+        for node_id in overlay.node_ids()
+        for zone in overlay.state(node_id).zones
+    )
+    assert abs(volume - 1.0) < 1e-9
+    key = data.draw(st.text(alphabet="xyz", min_size=1, max_size=4))
+    start = data.draw(st.sampled_from(survivors))
+    assert overlay.route(start, key)[-1] == overlay.authority(key)
+
+
+@given(st.lists(points, min_size=0, max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_neighbor_symmetry(join_points):
+    overlay = build_overlay(join_points)
+    for node_id in overlay.node_ids():
+        for neighbor in overlay.neighbors(node_id):
+            assert node_id in set(overlay.neighbors(neighbor))

@@ -1,0 +1,170 @@
+"""Unit tests for outgoing update channels and capacity control (§2.8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.channels import CapacityConfig, OutgoingUpdateChannels
+from repro.core.entry import IndexEntry
+from repro.core.messages import UpdateMessage, UpdateType
+from repro.sim.engine import Simulator
+
+
+def entry(lifetime=100.0, timestamp=0.0, replica="k/r0"):
+    return IndexEntry("k", replica, "addr", lifetime, timestamp)
+
+
+def update(update_type=UpdateType.REFRESH, lifetime=100.0, timestamp=0.0):
+    return UpdateMessage(
+        "k", update_type, (entry(lifetime, timestamp),), "k/r0", timestamp
+    )
+
+
+def make_channels(capacity=None, rng=None):
+    sim = Simulator()
+    sent = []
+    channels = OutgoingUpdateChannels(
+        sim, lambda neighbor, u: sent.append((neighbor, u)),
+        capacity=capacity, rng=rng,
+    )
+    return sim, channels, sent
+
+
+class TestCapacityConfig:
+    def test_defaults_unlimited(self):
+        assert CapacityConfig().unlimited()
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            CapacityConfig(fraction=-0.1)
+        with pytest.raises(ValueError):
+            CapacityConfig(fraction=1.1)
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CapacityConfig(rate=0.0)
+
+    def test_limited_configs(self):
+        assert not CapacityConfig(fraction=0.5).unlimited()
+        assert not CapacityConfig(rate=10.0).unlimited()
+
+
+class TestUnlimited:
+    def test_sends_immediately(self):
+        _, channels, sent = make_channels()
+        assert channels.push("n1", update())
+        assert len(sent) == 1
+        assert channels.forwarded == 1
+
+
+class TestFractionalCapacity:
+    def test_zero_fraction_suppresses_maintenance(self):
+        rng = np.random.default_rng(1)
+        _, channels, sent = make_channels(CapacityConfig(fraction=0.0), rng)
+        assert not channels.push("n1", update(UpdateType.REFRESH))
+        assert sent == []
+        assert channels.suppressed == 1
+
+    def test_first_time_updates_bypass_fraction(self):
+        rng = np.random.default_rng(1)
+        _, channels, sent = make_channels(CapacityConfig(fraction=0.0), rng)
+        assert channels.push("n1", update(UpdateType.FIRST_TIME))
+        assert len(sent) == 1
+
+    def test_fraction_statistics(self):
+        rng = np.random.default_rng(7)
+        _, channels, sent = make_channels(CapacityConfig(fraction=0.25), rng)
+        for _ in range(2000):
+            channels.push("n1", update())
+        assert 400 <= len(sent) <= 600  # ~500 expected
+
+    def test_fraction_without_rng_raises(self):
+        _, channels, _ = make_channels(CapacityConfig(fraction=0.5), rng=None)
+        with pytest.raises(RuntimeError):
+            channels.push("n1", update())
+
+
+class TestRatePump:
+    def test_rate_spaces_sends(self):
+        sim, channels, sent = make_channels(CapacityConfig(rate=2.0))
+        for _ in range(4):
+            channels.push("n1", update())
+        sim.run_until(1.0)   # 2 sends fit in the first second
+        assert len(sent) == 2
+        sim.run_until(2.0)
+        assert len(sent) == 4
+
+    def test_priority_ordering_within_queue(self):
+        sim, channels, sent = make_channels(CapacityConfig(rate=10.0))
+        channels.push("n1", update(UpdateType.APPEND))
+        channels.push("n1", update(UpdateType.REFRESH))
+        channels.push("n1", update(UpdateType.DELETE))
+        channels.push("n1", update(UpdateType.FIRST_TIME))
+        sim.run_until(1.0)
+        kinds = [u.update_type for _, u in sent]
+        assert kinds == [
+            UpdateType.FIRST_TIME,
+            UpdateType.DELETE,
+            UpdateType.REFRESH,
+            UpdateType.APPEND,
+        ]
+
+    def test_near_expiry_first_within_type(self):
+        sim, channels, sent = make_channels(CapacityConfig(rate=10.0))
+        late = update(UpdateType.REFRESH, lifetime=500.0)
+        soon = update(UpdateType.REFRESH, lifetime=50.0)
+        channels.push("n1", late)
+        channels.push("n1", soon)
+        sim.run_until(1.0)
+        assert sent[0][1] is soon
+        assert sent[1][1] is late
+
+    def test_longest_queue_served_first(self):
+        sim, channels, sent = make_channels(CapacityConfig(rate=1.0))
+        channels.push("a", update())
+        channels.push("b", update())
+        channels.push("b", update())
+        sim.run_until(1.0)
+        assert sent[0][0] == "b"
+
+    def test_expired_updates_dropped_from_queue(self):
+        sim, channels, sent = make_channels(CapacityConfig(rate=1.0))
+        channels.push("n1", update(lifetime=0.5))
+        channels.push("n1", update(lifetime=100.0))
+        sim.run_until(1.0)  # first pump at t=1; 0.5-lifetime is expired
+        assert len(sent) == 1
+        assert channels.expired_in_queue == 1
+
+    def test_queue_length(self):
+        _, channels, _ = make_channels(CapacityConfig(rate=1.0))
+        channels.push("n1", update())
+        channels.push("n1", update())
+        assert channels.queue_length("n1") == 2
+        assert channels.queue_length("other") == 0
+
+
+class TestCapacityChanges:
+    def test_raising_to_unlimited_flushes(self):
+        sim, channels, sent = make_channels(CapacityConfig(rate=0.001))
+        for _ in range(3):
+            channels.push("n1", update())
+        channels.set_capacity(CapacityConfig())
+        assert len(sent) == 3
+
+    def test_lowering_capacity_midstream(self):
+        rng = np.random.default_rng(3)
+        sim, channels, sent = make_channels(rng=rng)
+        channels.push("n1", update())
+        channels.set_capacity(CapacityConfig(fraction=0.0))
+        channels.push("n1", update())
+        assert len(sent) == 1
+        assert channels.suppressed == 1
+
+    def test_restoring_rate_restarts_pump(self):
+        sim, channels, sent = make_channels(CapacityConfig(rate=1.0))
+        channels.push("n1", update())
+        channels.push("n1", update())
+        sim.run_until(1.0)
+        assert len(sent) == 1
+        channels.set_capacity(CapacityConfig(rate=100.0))
+        sim.run_until(1.2)
+        assert len(sent) == 2

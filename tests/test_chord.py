@@ -1,0 +1,155 @@
+"""Unit and property tests for the Chord overlay."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.base import RoutingError
+from repro.overlay.chord import ChordOverlay
+
+
+def build(n=16, bits=32):
+    return ChordOverlay.build([f"n{i}" for i in range(n)], bits=bits)
+
+
+class TestMembership:
+    def test_build_contains_all(self):
+        overlay = build(16)
+        assert len(set(overlay.node_ids())) == 16
+
+    def test_duplicate_join_rejected(self):
+        overlay = build(4)
+        with pytest.raises(ValueError):
+            overlay.join("n0")
+
+    def test_leave_removes(self):
+        overlay = build(8)
+        overlay.leave("n3")
+        assert "n3" not in set(overlay.node_ids())
+
+    def test_leave_unknown_rejected(self):
+        overlay = build(4)
+        with pytest.raises(ValueError):
+            overlay.leave("ghost")
+
+    def test_epoch_bumps_on_churn(self):
+        overlay = build(4)
+        before = overlay.epoch
+        overlay.leave("n0")
+        overlay.join("n99")
+        assert overlay.epoch == before + 2
+
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            ChordOverlay(bits=2)
+        with pytest.raises(ValueError):
+            ChordOverlay(bits=65)
+
+
+class TestAuthority:
+    def test_authority_is_successor_of_key(self):
+        overlay = build(16)
+        key = "some-key"
+        owner = overlay.authority(key)
+        key_pos = overlay.key_position(key)
+        owner_pos = overlay.ring_position(owner)
+        # No member may lie strictly between key and its successor.
+        for node_id in overlay.node_ids():
+            pos = overlay.ring_position(node_id)
+            if pos == owner_pos:
+                continue
+            between = ChordOverlay._in_open_interval(
+                pos, key_pos - 1, owner_pos - 1, overlay.size
+            )
+            assert not between
+
+    def test_authority_on_empty_ring_raises(self):
+        with pytest.raises(RoutingError):
+            ChordOverlay().authority("k")
+
+    def test_authority_changes_after_owner_leaves(self):
+        overlay = build(16)
+        key = "some-key"
+        owner = overlay.authority(key)
+        overlay.leave(owner)
+        assert overlay.authority(key) != owner
+
+
+class TestRouting:
+    def test_route_reaches_authority(self):
+        overlay = build(32)
+        for i in range(20):
+            key = f"key-{i}"
+            authority = overlay.authority(key)
+            for start in ("n0", "n7", "n31"):
+                path = overlay.route(start, key)
+                assert path[-1] == authority
+
+    def test_route_is_logarithmic(self):
+        overlay = build(64)
+        worst = max(
+            overlay.distance(start, f"key-{i}")
+            for start in ("n0", "n13", "n50")
+            for i in range(25)
+        )
+        # Chord guarantees O(log n) w.h.p.; allow generous constant.
+        assert worst <= 4 * math.ceil(math.log2(64))
+
+    def test_hops_move_through_neighbor_sets(self):
+        overlay = build(32)
+        path = overlay.route("n0", "the-key")
+        for a, b in zip(path, path[1:]):
+            assert b in set(overlay.neighbors(a))
+
+    def test_next_hop_none_only_at_authority(self):
+        overlay = build(16)
+        key = "k"
+        authority = overlay.authority(key)
+        assert overlay.next_hop(authority, key) is None
+        for node_id in overlay.node_ids():
+            if node_id != authority:
+                assert overlay.next_hop(node_id, key) is not None
+
+    def test_single_node_ring(self):
+        overlay = ChordOverlay.build(["solo"])
+        assert overlay.authority("k") == "solo"
+        assert overlay.next_hop("solo", "k") is None
+        assert list(overlay.neighbors("solo")) == []
+
+
+class TestNeighbors:
+    def test_successor_and_predecessor_included(self):
+        overlay = build(16)
+        positions = sorted(
+            (overlay.ring_position(n), n) for n in overlay.node_ids()
+        )
+        for i, (_, name) in enumerate(positions):
+            successor = positions[(i + 1) % len(positions)][1]
+            predecessor = positions[i - 1][1]
+            neighbors = set(overlay.neighbors(name))
+            assert successor in neighbors
+            assert predecessor in neighbors
+
+    def test_neighbor_count_logarithmic(self):
+        overlay = build(64)
+        for node_id in overlay.node_ids():
+            count = len(set(overlay.neighbors(node_id)))
+            assert count <= 2 * 64  # trivially bounded
+            assert count >= 1
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=10_000), min_size=2, max_size=40),
+    st.text(alphabet="abcdef", min_size=1, max_size=6),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_routing_reaches_authority(node_seeds, key, data):
+    overlay = ChordOverlay.build([f"m{s}" for s in node_seeds], bits=24)
+    names = list(overlay.node_ids())
+    start = data.draw(st.sampled_from(names))
+    path = overlay.route(start, key)
+    assert path[-1] == overlay.authority(key)
+    assert len(path) <= len(names) + 1

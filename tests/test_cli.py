@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "CUP:" in out and "standard:" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--scale", "huge"])
+
+
+class TestRunExperiment:
+    def test_run_fig5_tiny(self, capsys):
+        status = main(["run", "fig5", "--scale", "tiny", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "PASS" in out
+        assert status == 0
+
+    def test_run_table3_tiny(self, capsys):
+        status = main(["run", "table3", "--scale", "tiny", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert status == 0

@@ -1,0 +1,127 @@
+"""Unit and property tests for the §3.1 cost model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costmodel import (
+    break_even_justified_fraction,
+    expected_update_value,
+    justification_probability,
+    saved_miss_overhead_ratio,
+    standard_caching_miss_cost,
+    subtree_aggregate_rate,
+)
+
+rates = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+windows = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+
+class TestJustificationProbability:
+    def test_papers_worked_example(self):
+        # "For Λ = 1 query arrival per second and T = 6 seconds, the
+        # probability that an update arriving at N is justified is 99%."
+        assert justification_probability(1.0, 6.0) == pytest.approx(
+            0.9975, abs=0.0005
+        )
+
+    def test_zero_rate_never_justified(self):
+        assert justification_probability(0.0, 100.0) == 0.0
+
+    def test_zero_window_never_justified(self):
+        assert justification_probability(5.0, 0.0) == 0.0
+
+    def test_first_time_updates_always_justified(self):
+        assert justification_probability(0.001, math.inf) == 1.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            justification_probability(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            justification_probability(1.0, -1.0)
+
+    @given(rates, windows)
+    @settings(max_examples=200, deadline=None)
+    def test_is_a_probability(self, rate, window):
+        p = justification_probability(rate, window)
+        assert 0.0 <= p <= 1.0
+
+    @given(rates, windows, windows)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_window(self, rate, w1, w2):
+        lo, hi = sorted((w1, w2))
+        assert justification_probability(rate, lo) <= justification_probability(
+            rate, hi
+        ) + 1e-12
+
+    @given(windows, rates, rates)
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_rate(self, window, r1, r2):
+        lo, hi = sorted((r1, r2))
+        assert justification_probability(lo, window) <= justification_probability(
+            hi, window
+        ) + 1e-12
+
+
+class TestAggregateRate:
+    def test_sums_rates(self):
+        assert subtree_aggregate_rate([0.5, 0.25, 0.25]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            subtree_aggregate_rate([0.5, -0.1])
+
+    def test_empty_subtree(self):
+        assert subtree_aggregate_rate([]) == 0.0
+
+
+class TestMissCost:
+    def test_full_trip_costs_two_d(self):
+        assert standard_caching_miss_cost(16) == 32
+
+    def test_intermediate_answer_cheaper(self):
+        assert standard_caching_miss_cost(16, answered_at=3) == 6
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            standard_caching_miss_cost(-1)
+        with pytest.raises(ValueError):
+            standard_caching_miss_cost(5, answered_at=6)
+
+
+class TestBreakEven:
+    def test_fifty_percent(self):
+        # §3.1: overhead fully recovered at >= 50% justified updates.
+        assert break_even_justified_fraction() == 0.5
+
+    def test_expected_value_positive_above_break_even(self):
+        # p = 0.99 -> value 0.98 hops per pushed hop.
+        assert expected_update_value(1.0, 6.0) > 0.9
+
+    def test_expected_value_negative_for_cold_keys(self):
+        assert expected_update_value(0.0001, 1.0) < 0.0
+
+    @given(rates, windows)
+    @settings(max_examples=100, deadline=None)
+    def test_value_bounded(self, rate, window):
+        value = expected_update_value(rate, window)
+        assert -1.0 <= value <= 1.0
+
+
+class TestSavedMissRatio:
+    def test_papers_shape(self):
+        assert saved_miss_overhead_ratio(55905, 8460, 6723) == pytest.approx(
+            7.06, abs=0.01
+        )
+
+    def test_zero_overhead_with_savings_is_infinite(self):
+        assert saved_miss_overhead_ratio(100, 50, 0) == math.inf
+
+    def test_zero_overhead_no_savings(self):
+        assert saved_miss_overhead_ratio(100, 100, 0) == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            saved_miss_overhead_ratio(-1, 0, 1)

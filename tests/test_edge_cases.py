@@ -1,0 +1,179 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import pytest
+from helpers import LineOverlay, MicroNet
+
+from repro.core.messages import UpdateType
+from repro.core.policies import AllOutPolicy
+from repro.core.protocol import CupConfig, CupNetwork
+from repro.core.trees import QueryTree
+from repro.overlay.base import RoutingError
+from repro.overlay.can import CanOverlay
+from repro.overlay.chord import ChordOverlay
+from repro.sim.network import Message
+
+
+class TestOverlayBaseHelpers:
+    def test_contains_and_len(self):
+        overlay = CanOverlay.perfect_grid(4)
+        assert 0 in overlay
+        assert "ghost" not in overlay
+        assert len(overlay) == 4
+
+    def test_route_from_authority_is_singleton(self):
+        overlay = CanOverlay.perfect_grid(16)
+        authority = overlay.authority("k")
+        assert overlay.route(authority, "k") == [authority]
+        assert overlay.distance(authority, "k") == 0
+
+    def test_next_hop_from_non_member_raises(self):
+        overlay = CanOverlay.perfect_grid(4)
+        with pytest.raises(RoutingError):
+            overlay.next_hop("ghost", "k")
+        chord = ChordOverlay.build(["a", "b", "c"])
+        with pytest.raises(RoutingError):
+            chord.next_hop("ghost", "k")
+
+
+class TestQueryTreeOnChord:
+    def test_virtual_tree_spans_ring(self):
+        overlay = ChordOverlay.build([f"n{i}" for i in range(24)])
+        tree = QueryTree.virtual(overlay, "some-key")
+        assert tree.nodes == set(overlay.node_ids())
+        assert tree.root == overlay.authority("some-key")
+
+    def test_depths_match_routes(self):
+        overlay = ChordOverlay.build([f"n{i}" for i in range(16)])
+        tree = QueryTree.virtual(overlay, "some-key")
+        for node in list(tree.nodes)[:8]:
+            assert tree.depth[node] == overlay.distance(node, "some-key")
+
+
+class TestNodeEdges:
+    def test_unknown_message_kind_raises(self):
+        net = MicroNet()
+
+        class Weird(Message):
+            kind = "weird"
+            __slots__ = ()
+
+        with pytest.raises(ValueError):
+            net.authority.receive(Weird(), "n1")
+
+    def test_node_gc_reclaims_dead_state(self):
+        net = MicroNet()
+        net.seed_authority("k", lifetime=10.0)
+        net.node(3).post_local_query("k")
+        net.settle()
+        assert len(net.node(3).cache) == 1
+        net.sim.run_until(net.sim.now + 100.0)
+        # Wait for second-chance teardown traffic to finish, then gc.
+        reclaimed = net.node(3).gc()
+        assert reclaimed == 1
+        assert len(net.node(3).cache) == 0
+
+    def test_clear_bit_for_unknown_key_ignored(self):
+        net = MicroNet()
+        from repro.core.messages import ClearBitMessage
+
+        net.authority.receive(ClearBitMessage("never-seen"), "n1")
+        # No state created as a side effect.
+        assert net.authority.cache.get("never-seen") is None
+
+    def test_delete_for_unknown_key_harmless(self):
+        net = MicroNet(policy=AllOutPolicy())
+        from repro.core.entry import IndexEntry
+        from repro.core.messages import UpdateMessage
+
+        update = UpdateMessage(
+            "mystery", UpdateType.DELETE,
+            (IndexEntry("mystery", "m/r0", "addr", 10.0, net.sim.now),),
+            "m/r0", net.sim.now,
+        )
+        net.transport.send("n0", "n1", update)
+        net.settle()
+        # No crash; the (empty) state simply records nothing.
+
+    def test_empty_response_clears_pfu_without_entries(self):
+        net = MicroNet()
+        # No replicas seeded: authority answers with an empty first-time
+        # update (a negative response).
+        net.node(2).post_local_query("nothing-there")
+        net.settle()
+        state = net.node(2).cache.get("nothing-there")
+        assert state is not None
+        assert not state.pending_first_update
+        assert state.entries == {}
+        assert net.metrics.answers_delivered == 1
+
+
+class TestLineOverlayHelper:
+    def test_line_overlay_shape(self):
+        overlay = LineOverlay(3)
+        assert overlay.authority("k") == "n0"
+        assert overlay.next_hop("n2", "k") == "n1"
+        assert overlay.next_hop("n0", "k") is None
+        assert set(overlay.neighbors("n1")) == {"n0", "n2"}
+
+    def test_line_overlay_requires_length(self):
+        with pytest.raises(ValueError):
+            LineOverlay(0)
+
+
+class TestTracingIntegration:
+    def test_network_tracer_records_churn(self):
+        config = CupConfig(
+            num_nodes=8, total_keys=1, query_rate=1.0, seed=2, trace=True,
+            entry_lifetime=50.0, query_start=50.0, query_duration=100.0,
+            drain=50.0,
+        )
+        net = CupNetwork(config)
+        net.run_until(10.0)
+        net.join_node("extra")
+        net.leave_node("extra", graceful=True)
+        churn_records = net.tracer.by_category("churn")
+        assert [r.fields["event"] for r in churn_records] == ["join", "leave"]
+
+    def test_tracer_disabled_by_default(self):
+        config = CupConfig(num_nodes=4, total_keys=1)
+        net = CupNetwork(config)
+        net.run_until(5.0)
+        net.join_node("extra")
+        assert net.tracer.records == []
+
+
+class TestStandardCoalescingMode:
+    def test_intermediate_between_std_and_cup(self):
+        base = CupConfig(
+            num_nodes=64, total_keys=1, query_rate=2.0, seed=9,
+            entry_lifetime=50.0, query_start=100.0, query_duration=500.0,
+            drain=100.0,
+        )
+        cup = CupNetwork(base).run()
+        coal = CupNetwork(base.variant(mode="standard-coalescing")).run()
+        std = CupNetwork(base.variant(mode="standard")).run()
+        assert coal.overhead_cost == 0
+        assert cup.miss_cost <= coal.miss_cost
+        assert coal.miss_cost <= std.miss_cost * 1.02
+
+    def test_coalescing_mode_counts_coalesced(self):
+        base = CupConfig(
+            num_nodes=64, total_keys=1, query_rate=20.0, seed=9,
+            entry_lifetime=50.0, query_start=100.0, query_duration=300.0,
+            drain=100.0, mode="standard-coalescing",
+        )
+        summary = CupNetwork(base).run()
+        assert summary.coalesced_queries > 0
+
+
+class TestInFlightExpiry:
+    def test_update_expiring_in_flight_dropped(self):
+        # Long link delays: the query reaches the authority at t=15 while
+        # the entry (18 s TTL) is still fresh, but the response's first
+        # hop lands at t=20 — expired in flight, dropped (§2.6 case 3).
+        net = MicroNet(policy=AllOutPolicy(), link_delay=5.0)
+        net.seed_authority("k", lifetime=18.0)
+        net.node(3).post_local_query("k")
+        net.sim.run_until(40.0)
+        assert net.metrics.updates_dropped_expired >= 1
+        assert net.metrics.answers_delivered == 0

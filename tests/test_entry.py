@@ -1,0 +1,79 @@
+"""Unit tests for index entries."""
+
+import pytest
+
+from repro.core.entry import IndexEntry
+
+
+def make(timestamp=0.0, lifetime=100.0, sequence=0):
+    return IndexEntry("k", "k/r0", "addr://k/r0", lifetime, timestamp, sequence)
+
+
+class TestFreshness:
+    def test_fresh_within_lifetime(self):
+        assert make(timestamp=0.0, lifetime=100.0).is_fresh(50.0)
+
+    def test_expired_exactly_at_lifetime(self):
+        # Strict inequality: at now == timestamp + lifetime the entry is
+        # no longer usable (the refresh issued at that instant replaces it).
+        assert not make(timestamp=0.0, lifetime=100.0).is_fresh(100.0)
+
+    def test_expired_after_lifetime(self):
+        assert not make(timestamp=0.0, lifetime=100.0).is_fresh(150.0)
+
+    def test_expires_at(self):
+        assert make(timestamp=10.0, lifetime=100.0).expires_at == 110.0
+
+    def test_remaining(self):
+        entry = make(timestamp=10.0, lifetime=100.0)
+        assert entry.remaining(60.0) == 50.0
+        assert entry.remaining(120.0) == -10.0
+
+    def test_nonpositive_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            make(lifetime=0.0)
+        with pytest.raises(ValueError):
+            make(lifetime=-5.0)
+
+
+class TestRefresh:
+    def test_refreshed_rebases_timestamp(self):
+        entry = make(timestamp=0.0, lifetime=100.0, sequence=3)
+        newer = entry.refreshed(timestamp=100.0)
+        assert newer.timestamp == 100.0
+        assert newer.lifetime == 100.0
+        assert newer.sequence == 4
+        assert newer.is_fresh(150.0)
+
+    def test_refreshed_can_change_lifetime(self):
+        newer = make().refreshed(timestamp=50.0, lifetime=20.0)
+        assert newer.lifetime == 20.0
+
+    def test_refreshed_explicit_sequence(self):
+        newer = make(sequence=3).refreshed(timestamp=1.0, sequence=10)
+        assert newer.sequence == 10
+
+    def test_refreshed_preserves_identity_fields(self):
+        entry = make()
+        newer = entry.refreshed(timestamp=1.0)
+        assert (newer.key, newer.replica_id, newer.address) == (
+            entry.key, entry.replica_id, entry.address,
+        )
+
+
+class TestEquality:
+    def test_equal_entries(self):
+        assert make() == make()
+
+    def test_sequence_distinguishes(self):
+        assert make(sequence=0) != make(sequence=1)
+
+    def test_hashable(self):
+        assert len({make(), make(), make(sequence=1)}) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert make() != "entry"
+
+    def test_repr_contains_key_fields(self):
+        text = repr(make())
+        assert "k/r0" in text and "seq=0" in text

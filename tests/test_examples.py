@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in a subprocess (its own interpreter, exactly
+as a user would run it) and must exit cleanly with its headline output
+present.  These are the slowest tests in the suite (~40 s total); they
+guard the documented user experience.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "miss cost" in out
+        assert "saved" in out
+
+    def test_flash_crowd(self):
+        out = run_example("flash_crowd.py")
+        assert "flash window" in out
+        assert "cheaper" in out
+
+    def test_node_churn(self):
+        out = run_example("node_churn.py")
+        assert "Churn log:" in out
+        assert "Queries resolved" in out
+
+    def test_capacity_faults(self):
+        out = run_example("capacity_faults.py")
+        assert "Fault timeline:" in out
+        assert "graceful" in out
+
+    def test_cost_model_analysis(self):
+        out = run_example("cost_model_analysis.py")
+        assert "break-even" in out
+        assert "push level" in out
+
+    def test_overlay_tour(self):
+        out = run_example("overlay_tour.py")
+        assert "CAN" in out
+        assert "Chord" in out
+        assert "CUP tree" in out.replace("\n", " ") or "tree" in out
+
+    def test_trace_replay(self):
+        out = run_example("trace_replay.py")
+        assert "Replaying" in out
+        assert "standard caching" in out

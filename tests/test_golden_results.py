@@ -1,0 +1,81 @@
+"""Golden-number regression tests for the reproduction's headline results.
+
+These pin the tiny-preset headline quantities inside generous bands so a
+future refactor cannot silently change the reproduction's behaviour.
+Exact equality is asserted only for determinism (same seed, same
+summary); behavioural quantities get ±bands wide enough to survive
+innocuous changes (e.g. float formatting) but not protocol regressions.
+"""
+
+import pytest
+
+from repro.experiments.config import TINY
+from repro.experiments.runner import run_pair
+
+
+@pytest.fixture(scope="module")
+def tiny_pair():
+    return run_pair(TINY.config(seed=42, query_rate=TINY.rate(10.0)))
+
+
+class TestGoldenTinyRun:
+    def test_query_volume(self, tiny_pair):
+        cup, std = tiny_pair
+        # λ(paper 10) → 1.875 q/s over 1000 s ≈ 1875 queries.
+        assert 1700 <= cup.queries_posted <= 2050
+        assert cup.queries_posted == std.queries_posted
+
+    def test_cup_miss_cost_band(self, tiny_pair):
+        cup, _ = tiny_pair
+        assert 80 <= cup.miss_cost <= 500
+
+    def test_std_miss_cost_band(self, tiny_pair):
+        _, std = tiny_pair
+        assert 900 <= std.miss_cost <= 1800
+
+    def test_miss_ratio_band(self, tiny_pair):
+        cup, std = tiny_pair
+        ratio = cup.miss_cost / std.miss_cost
+        assert 0.05 <= ratio <= 0.40
+
+    def test_overhead_band(self, tiny_pair):
+        cup, std = tiny_pair
+        assert std.overhead_cost == 0
+        assert 300 <= cup.overhead_cost <= 1200
+
+    def test_total_ratio_band(self, tiny_pair):
+        cup, std = tiny_pair
+        assert 0.45 <= cup.total_cost / std.total_cost <= 1.05
+
+    def test_justified_fraction_band(self, tiny_pair):
+        cup, _ = tiny_pair
+        # Well above the 50% break-even under second-chance.
+        assert cup.justified_fraction >= 0.5
+
+    def test_latency_ordering(self, tiny_pair):
+        cup, std = tiny_pair
+        assert cup.miss_latency <= std.miss_latency * 1.05
+
+    def test_hit_rate_band(self, tiny_pair):
+        cup, std = tiny_pair
+        cup_hit_rate = cup.local_hits / cup.queries_posted
+        std_hit_rate = std.local_hits / std.queries_posted
+        assert cup_hit_rate > std_hit_rate
+        assert cup_hit_rate >= 0.75
+
+
+class TestDeterminismGolden:
+    def test_identical_summaries_across_processes_worth_of_runs(self):
+        config = TINY.config(seed=123, query_rate=1.0)
+        from repro.core.protocol import CupNetwork
+
+        first = CupNetwork(config).run()
+        second = CupNetwork(config).run()
+        assert first == second
+
+    def test_seed_sensitivity(self):
+        from repro.core.protocol import CupNetwork
+
+        a = CupNetwork(TINY.config(seed=1, query_rate=1.0)).run()
+        b = CupNetwork(TINY.config(seed=2, query_rate=1.0)).run()
+        assert a.miss_cost != b.miss_cost or a.queries_posted != b.queries_posted

@@ -1,0 +1,66 @@
+"""Unit tests for the uniform hash helpers."""
+
+import pytest
+
+from repro.overlay.hashing import hash_to_int, hash_to_unit_point
+
+
+class TestHashToUnitPoint:
+    def test_deterministic(self):
+        assert hash_to_unit_point("k") == hash_to_unit_point("k")
+
+    def test_within_unit_cube(self):
+        for key in ("a", "b", "some/long/path.mp3", ""):
+            point = hash_to_unit_point(key, dims=2)
+            assert all(0.0 <= c < 1.0 for c in point)
+
+    def test_dims_respected(self):
+        for dims in (1, 2, 3, 4):
+            assert len(hash_to_unit_point("k", dims=dims)) == dims
+
+    def test_dims_out_of_range(self):
+        with pytest.raises(ValueError):
+            hash_to_unit_point("k", dims=0)
+        with pytest.raises(ValueError):
+            hash_to_unit_point("k", dims=5)
+
+    def test_salt_changes_point(self):
+        assert hash_to_unit_point("k") != hash_to_unit_point("k", salt="s")
+
+    def test_distinct_keys_distinct_points(self):
+        points = {hash_to_unit_point(f"key-{i}") for i in range(1000)}
+        assert len(points) == 1000
+
+    def test_roughly_uniform_spread(self):
+        # Quadrant counts of 4000 hashed keys should be within 25% of even.
+        counts = [0, 0, 0, 0]
+        for i in range(4000):
+            x, y = hash_to_unit_point(f"key-{i}")
+            counts[(x >= 0.5) * 2 + (y >= 0.5)] += 1
+        for c in counts:
+            assert 750 <= c <= 1250
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(TypeError):
+            hash_to_unit_point(42)
+
+
+class TestHashToInt:
+    def test_deterministic(self):
+        assert hash_to_int("k", 32) == hash_to_int("k", 32)
+
+    def test_range(self):
+        for bits in (3, 8, 32, 64, 160):
+            value = hash_to_int("some-key", bits)
+            assert 0 <= value < (1 << bits)
+
+    def test_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            hash_to_int("k", 0)
+        with pytest.raises(ValueError):
+            hash_to_int("k", 161)
+
+    def test_salt_separates_namespaces(self):
+        assert hash_to_int("k", 32, salt="node") != hash_to_int(
+            "k", 32, salt="key"
+        )

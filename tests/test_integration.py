@@ -1,0 +1,208 @@
+"""End-to-end integration tests: full simulations, paper-level claims.
+
+These run small networks (64 nodes, short phases) so the whole file
+stays fast, but each test exercises the complete stack: overlay,
+replicas, workload, CUP protocol and metrics.
+"""
+
+import pytest
+
+from repro.core.policies import AllOutPolicy
+from repro.core.protocol import CupConfig, CupNetwork
+
+
+def config(**overrides):
+    base = dict(
+        num_nodes=64, total_keys=1, query_rate=1.2, seed=11,
+        entry_lifetime=100.0, query_start=200.0, query_duration=1000.0,
+        drain=200.0,
+    )
+    base.update(overrides)
+    return CupConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def cup_and_std():
+    cup = CupNetwork(config()).run()
+    std = CupNetwork(config(mode="standard")).run()
+    return cup, std
+
+
+class TestHeadlineClaims:
+    def test_cup_reduces_miss_cost(self, cup_and_std):
+        cup, std = cup_and_std
+        assert cup.miss_cost < 0.5 * std.miss_cost
+
+    def test_cup_reduces_misses(self, cup_and_std):
+        cup, std = cup_and_std
+        assert cup.misses < std.misses
+
+    def test_cup_miss_latency_not_worse(self, cup_and_std):
+        cup, std = cup_and_std
+        assert cup.miss_latency <= std.miss_latency * 1.05
+
+    def test_standard_caching_has_zero_overhead(self, cup_and_std):
+        _, std = cup_and_std
+        assert std.overhead_cost == 0
+        assert std.total_cost == std.miss_cost
+
+    def test_cup_overhead_is_bounded_by_savings_regime(self, cup_and_std):
+        cup, std = cup_and_std
+        # CUP's total should stay in the neighbourhood of standard
+        # caching even at this small scale (the paper's least favorable
+        # configurations), and well below 2x.
+        assert cup.total_cost < 1.5 * std.total_cost
+
+    def test_most_queries_are_hits_under_cup(self, cup_and_std):
+        cup, _ = cup_and_std
+        assert cup.local_hits > cup.misses
+
+
+class TestPushLevelEquivalence:
+    def test_push_level_zero_close_to_standard(self):
+        p0 = CupNetwork(config(policy=AllOutPolicy(push_level=0))).run()
+        std = CupNetwork(config(mode="standard")).run()
+        assert p0.overhead_cost == 0
+        assert p0.total_cost <= std.total_cost * 1.15
+
+    def test_standard_coalescing_between_std_and_cup(self):
+        coal = CupNetwork(config(mode="standard-coalescing")).run()
+        std = CupNetwork(config(mode="standard")).run()
+        assert coal.overhead_cost == 0
+        assert coal.miss_cost <= std.miss_cost
+
+
+class TestCapacityDegradation:
+    def test_zero_capacity_everywhere_behaves_like_standard(self):
+        crippled = CupNetwork(config(capacity_fraction=0.0)).run()
+        std = CupNetwork(config(mode="standard")).run()
+        assert crippled.refresh_hops == 0
+        # Misses return to the standard-caching regime (coalescing still
+        # helps a little).
+        assert crippled.miss_cost <= std.miss_cost * 1.15
+        assert crippled.miss_cost >= std.miss_cost * 0.4
+
+    def test_partial_capacity_in_between(self):
+        full = CupNetwork(config()).run()
+        half = CupNetwork(config(capacity_fraction=0.5)).run()
+        none = CupNetwork(config(capacity_fraction=0.0)).run()
+        assert full.miss_cost <= half.miss_cost <= none.miss_cost * 1.05
+
+
+class TestChordSubstrate:
+    def test_cup_wins_on_chord_too(self):
+        cup = CupNetwork(config(overlay_type="chord")).run()
+        std = CupNetwork(config(overlay_type="chord", mode="standard")).run()
+        assert cup.miss_cost < std.miss_cost
+        assert cup.misses < std.misses
+
+    def test_chord_routes_shorter_than_can(self):
+        can = CupNetwork(config(mode="standard")).run()
+        chord = CupNetwork(
+            config(overlay_type="chord", mode="standard")
+        ).run()
+        # O(log n) vs O(sqrt n): Chord misses should be cheaper per miss.
+        assert chord.miss_latency < can.miss_latency * 1.2
+
+
+class TestMultiKeyWorkloads:
+    def test_zipf_multi_key_run(self):
+        cup = CupNetwork(
+            config(total_keys=32, key_distribution="zipf", zipf_s=1.1,
+                   query_rate=4.0)
+        ).run()
+        std = CupNetwork(
+            config(total_keys=32, key_distribution="zipf", zipf_s=1.1,
+                   query_rate=4.0, mode="standard")
+        ).run()
+        # Hot keys benefit; cold keys are cut off quickly.
+        assert cup.miss_cost < std.miss_cost
+
+    def test_uniform_multi_key_run(self):
+        summary = CupNetwork(
+            config(total_keys=16, query_rate=4.0)
+        ).run()
+        assert summary.queries_posted > 0
+
+
+class TestReplicaDynamics:
+    def test_multiple_replicas_answer_queries(self):
+        summary = CupNetwork(config(replicas_per_key=5)).run()
+        assert summary.answers_delivered + summary.local_hits > 0
+
+    def test_failure_sweep_detects_dead_replicas(self):
+        net = CupNetwork(
+            config(replicas_per_key=3, failure_sweep_interval=50.0)
+        )
+        net.run_until(150.0)  # replicas alive and refreshing
+        import numpy as np
+
+        net.replicas.kill_fraction(1.0, np.random.default_rng(9),
+                                   graceful=False)
+        net.run_until(500.0)
+        assert net.metrics.failure_detections > 0
+
+    def test_graceful_replica_death_propagates_delete(self):
+        net = CupNetwork(config(replicas_per_key=2))
+        net.run_until(250.0)
+        # Subscribe a node so the delete has somewhere to go.
+        poster = next(iter(net.nodes))
+        net.post_query(poster, net.keys[0])
+        net.run_until(260.0)
+        net.replicas.by_key[net.keys[0]][0].die(graceful=True)
+        net.run_until(300.0)
+        assert net.metrics.replica_deaths == 1
+
+
+class TestDeterminism:
+    def test_full_run_reproducible(self):
+        a = CupNetwork(config(seed=99)).run()
+        b = CupNetwork(config(seed=99)).run()
+        assert a == b
+
+    def test_chord_run_reproducible(self):
+        a = CupNetwork(config(seed=5, overlay_type="chord")).run()
+        b = CupNetwork(config(seed=5, overlay_type="chord")).run()
+        assert a == b
+
+
+class TestConservation:
+    """Accounting invariants that must hold for any run."""
+
+    def test_every_posted_query_resolves(self):
+        net = CupNetwork(config())
+        summary = net.run()
+        resolved = summary.local_hits + summary.answers_delivered
+        # Queries still in flight at sim end may be unresolved; bound it.
+        assert resolved >= summary.queries_posted * 0.99
+
+    def test_hit_miss_partition(self):
+        summary = CupNetwork(config()).run()
+        assert summary.local_hits + summary.misses == summary.queries_posted
+
+    def test_miss_classification_partition(self):
+        summary = CupNetwork(config()).run()
+        assert (
+            summary.first_time_misses + summary.freshness_misses
+            == summary.misses
+        )
+
+    def test_no_expired_entries_ever_served(self):
+        # Instrument the node class: every answer's entries must be fresh.
+        from repro.core import node as node_module
+
+        served_expired = []
+        original = node_module.CupNode._answer_query
+
+        def checked(self, state, entries, from_neighbor, path, now):
+            for entry in entries:
+                if not entry.is_fresh(now):
+                    served_expired.append(entry)
+            return original(self, state, entries, from_neighbor, path, now)
+
+        node_module.CupNode._answer_query = checked
+        try:
+            CupNetwork(config()).run()
+        finally:
+            node_module.CupNode._answer_query = original
+        assert served_expired == []

@@ -1,0 +1,197 @@
+"""Tests for keep-alive failure detection (§2.1)."""
+
+import pytest
+
+from repro.core.keepalive import KeepAliveMessage, KeepAliveMonitor
+from repro.core.protocol import CupConfig, CupNetwork
+from repro.sim.engine import Simulator
+from repro.sim.network import Transport
+
+
+class Probe:
+    def __init__(self):
+        self.suspects = []
+
+    def __call__(self, reporter, suspect):
+        self.suspects.append((reporter, suspect))
+
+
+class Echo:
+    """A handler that answers every keep-alive with one of its own."""
+
+    def __init__(self, sim, transport, node_id, monitor=None):
+        self._transport = transport
+        self.node_id = node_id
+        self.monitor = monitor
+
+    def receive(self, message, sender):
+        if self.monitor is not None:
+            self.monitor.note_heard(sender)
+        self._transport.send(self.node_id, sender, KeepAliveMessage())
+
+
+class TestMonitorUnit:
+    def build(self, miss_threshold=3):
+        sim = Simulator()
+        net = Transport(sim, default_delay=0.01)
+        probe = Probe()
+        monitor = KeepAliveMonitor(
+            sim, net, "watcher", lambda: ["peer"],
+            period=10.0, miss_threshold=miss_threshold, on_suspect=probe,
+        )
+        return sim, net, probe, monitor
+
+    def test_validation(self):
+        sim = Simulator()
+        net = Transport(sim)
+        with pytest.raises(ValueError):
+            KeepAliveMonitor(sim, net, "w", lambda: [], 0.0, 3, lambda *a: None)
+        with pytest.raises(ValueError):
+            KeepAliveMonitor(sim, net, "w", lambda: [], 1.0, 0, lambda *a: None)
+
+    def test_responsive_peer_never_suspected(self):
+        sim, net, probe, monitor = self.build()
+        echo = Echo(sim, net, "peer")
+        net.register("peer", echo)
+
+        # Wire the echo's replies back into the monitor.
+        class Watcher:
+            def receive(self, message, sender):
+                monitor.note_heard(sender)
+
+        net.register("watcher", Watcher())
+        monitor.start()
+        sim.run_until(200.0)
+        assert probe.suspects == []
+        assert monitor.beats_sent >= 19
+
+    def test_silent_peer_suspected_after_threshold(self):
+        sim, net, probe, monitor = self.build(miss_threshold=3)
+        net.register("watcher", type("W", (), {"receive": lambda *a: None})())
+        # "peer" is never registered: all heartbeats drop.
+        monitor.start()
+        sim.run_until(100.0)
+        assert probe.suspects == [("watcher", "peer")]
+        # Suspicion is raised once, not every period.
+        assert monitor.suspicions_raised == 1
+        # Detection latency: just past miss_threshold * period.
+        assert 30.0 <= sim.now
+
+    def test_hearing_again_clears_suspicion(self):
+        sim, net, probe, monitor = self.build(miss_threshold=2)
+        net.register("watcher", type("W", (), {"receive": lambda *a: None})())
+        monitor.start()
+        sim.run_until(50.0)
+        assert monitor.suspected == {"peer"}
+        monitor.note_heard("peer")
+        assert monitor.suspected == set()
+
+    def test_stop_halts_beats(self):
+        sim, net, probe, monitor = self.build()
+        net.register("watcher", type("W", (), {"receive": lambda *a: None})())
+        monitor.start()
+        sim.run_until(25.0)
+        sent = monitor.beats_sent
+        monitor.stop()
+        sim.run_until(100.0)
+        assert monitor.beats_sent == sent
+
+    def test_departed_neighbors_forgotten(self):
+        sim = Simulator()
+        net = Transport(sim, default_delay=0.01)
+        probe = Probe()
+        neighbors = ["peer"]
+        monitor = KeepAliveMonitor(
+            sim, net, "watcher", lambda: list(neighbors),
+            period=10.0, miss_threshold=2, on_suspect=probe,
+        )
+        net.register("watcher", type("W", (), {"receive": lambda *a: None})())
+        monitor.start()
+        sim.run_until(15.0)
+        neighbors.clear()  # overlay rewired: peer no longer a neighbor
+        sim.run_until(100.0)
+        assert probe.suspects == []
+
+
+def make_network(**overrides):
+    base = dict(
+        num_nodes=16, total_keys=2, query_rate=2.0, seed=6,
+        entry_lifetime=100.0, query_start=100.0, query_duration=400.0,
+        drain=100.0,
+    )
+    base.update(overrides)
+    return CupNetwork(CupConfig(**base))
+
+
+class TestNetworkIntegration:
+    def test_crash_detected_and_repaired(self):
+        net = make_network()
+        net.enable_keepalive(period=5.0, miss_threshold=3)
+        net.run_until(50.0)
+        victim = next(iter(net.nodes))
+        net.crash_node(victim)
+        crash_time = net.sim.now
+        net.run_until(crash_time + 60.0)
+        assert net.failure_detections, "crash went undetected"
+        detected_at, reporter, suspect = net.failure_detections[0]
+        assert suspect == victim
+        assert victim not in net.nodes
+        assert victim not in net.overlay
+        # Detection latency within a few threshold windows.
+        assert detected_at - crash_time <= 5.0 * 3 * 3
+
+    def test_no_false_positives_without_crashes(self):
+        net = make_network()
+        net.enable_keepalive(period=5.0, miss_threshold=3)
+        net.run()
+        assert net.failure_detections == []
+        assert len(net.nodes) == 16
+
+    def test_queries_recover_after_detection(self):
+        net = make_network(num_nodes=16, total_keys=1, pfu_timeout=10.0)
+        net.enable_keepalive(period=5.0, miss_threshold=2)
+        net.run_until(99.0)
+        key = net.keys[0]
+        authority = net.overlay.authority(key)
+        # Crash a node on some query path (not the authority itself).
+        victim = next(
+            n for n in net.nodes
+            if n != authority and net.overlay.next_hop(n, key) == authority
+        )
+        net.crash_node(victim)
+        net.run_until(net.sim.now + 100.0)
+        assert any(s == victim for _, _, s in net.failure_detections)
+        # Every node can still resolve the key.
+        answered_before = (
+            net.metrics.local_hits + net.metrics.answers_delivered
+        )
+        posted = 0
+        for node_id in list(net.nodes):
+            net.post_query(node_id, key)
+            posted += 1
+        net.run_until(net.sim.now + 30.0)
+        answered = (
+            net.metrics.local_hits + net.metrics.answers_delivered
+            - answered_before
+        )
+        assert answered >= posted * 0.9
+
+    def test_crash_unknown_node_rejected(self):
+        net = make_network()
+        with pytest.raises(ValueError):
+            net.crash_node("ghost")
+
+    def test_keepalives_not_counted_in_costs(self):
+        quiet = make_network(seed=6)
+        quiet_summary = quiet.run()
+        noisy = make_network(seed=6)
+        noisy.enable_keepalive(period=5.0, miss_threshold=3)
+        noisy_summary = noisy.run()
+        assert noisy_summary.total_cost == quiet_summary.total_cost
+
+    def test_joiners_get_monitors(self):
+        net = make_network()
+        net.enable_keepalive(period=5.0, miss_threshold=3)
+        net.run_until(20.0)
+        node = net.join_node("late")
+        assert node.keepalive_monitor is not None

@@ -1,0 +1,94 @@
+"""Unit tests for the CUP wire message types."""
+
+from repro.core.entry import IndexEntry
+from repro.core.messages import (
+    ClearBitMessage,
+    QueryMessage,
+    ReplicaEvent,
+    ReplicaMessage,
+    UpdateMessage,
+    UpdateType,
+)
+
+
+def entry(timestamp=0.0, lifetime=100.0, replica="k/r0", seq=0):
+    return IndexEntry("k", replica, f"addr://{replica}", lifetime, timestamp, seq)
+
+
+def update(entries, update_type=UpdateType.REFRESH, route=None):
+    return UpdateMessage("k", update_type, tuple(entries), "k/r0", 0.0, route=route)
+
+
+class TestUpdateExpiry:
+    def test_fresh_update_not_expired(self):
+        assert not update([entry()]).is_expired(50.0)
+
+    def test_all_entries_expired(self):
+        assert update([entry(lifetime=10.0)]).is_expired(20.0)
+
+    def test_one_fresh_entry_keeps_update_alive(self):
+        u = update([entry(lifetime=10.0), entry(lifetime=100.0, replica="k/r1")])
+        assert not u.is_expired(20.0)
+
+    def test_empty_update_never_expires(self):
+        assert not update([]).is_expired(1e9)
+
+    def test_carried_expiry_is_latest(self):
+        u = update([
+            entry(timestamp=0.0, lifetime=10.0),
+            entry(timestamp=0.0, lifetime=70.0, replica="k/r1"),
+        ])
+        assert u.carried_expiry() == 70.0
+
+    def test_carried_expiry_empty(self):
+        assert update([]).carried_expiry() == 0.0
+
+
+class TestFork:
+    def test_fork_preserves_payload(self):
+        u = update([entry()], route=("a", "b"))
+        copy = u.fork()
+        assert copy.key == u.key
+        assert copy.entries is u.entries
+        assert copy.update_type == u.update_type
+        assert copy.route == ("a", "b")
+
+    def test_fork_hops_independent(self):
+        u = update([entry()])
+        u.hops = 3
+        copy = u.fork()
+        copy.hops += 1
+        assert u.hops == 3
+        assert copy.hops == 4
+
+
+class TestMessageKinds:
+    def test_kind_tags(self):
+        assert QueryMessage("k").kind == "query"
+        assert update([]).kind == "update"
+        assert ClearBitMessage("k").kind == "clear_bit"
+        assert ReplicaMessage(
+            ReplicaEvent.BIRTH, "k", "k/r0", "addr", 10.0
+        ).kind == "replica"
+
+    def test_query_defaults_to_no_path(self):
+        assert QueryMessage("k").path is None
+
+    def test_query_carries_open_connection_path(self):
+        q = QueryMessage("k", path=("n3", "n2"))
+        assert q.path == ("n3", "n2")
+
+    def test_update_type_priorities_ordered(self):
+        assert (
+            UpdateType.FIRST_TIME
+            < UpdateType.DELETE
+            < UpdateType.REFRESH
+            < UpdateType.APPEND
+        )
+
+    def test_reprs_readable(self):
+        assert "k" in repr(QueryMessage("k"))
+        assert "REFRESH" in repr(update([entry()]))
+        assert "birth" in repr(
+            ReplicaMessage(ReplicaEvent.BIRTH, "k", "k/r0", "addr", 10.0)
+        )

@@ -1,0 +1,152 @@
+"""Tests for metric collection and report formatting."""
+
+import math
+
+import pytest
+
+from repro.core.entry import IndexEntry
+from repro.core.messages import ClearBitMessage, QueryMessage, UpdateMessage, UpdateType
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import Table, format_float, format_ratio, render_series
+
+
+def update(update_type):
+    entry = IndexEntry("k", "k/r0", "addr", 100.0, 0.0)
+    return UpdateMessage("k", update_type, (entry,), "k/r0", 0.0)
+
+
+class TestHopAccounting:
+    def test_query_hops(self):
+        collector = MetricsCollector()
+        collector.on_send("a", "b", QueryMessage("k"))
+        collector.on_send("b", "c", QueryMessage("k"))
+        assert collector.query_hops == 2
+
+    def test_update_hops_by_type(self):
+        collector = MetricsCollector()
+        for t in UpdateType:
+            collector.on_send("a", "b", update(t))
+        assert collector.first_time_update_hops == 1
+        assert collector.maintenance_update_hops == 3
+
+    def test_clear_bit_hops(self):
+        collector = MetricsCollector()
+        collector.on_send("a", "b", ClearBitMessage("k"))
+        assert collector.clear_bit_hops == 1
+
+    def test_cost_definitions(self):
+        collector = MetricsCollector()
+        collector.on_send("a", "b", QueryMessage("k"))         # miss: 1
+        collector.on_send("b", "a", update(UpdateType.FIRST_TIME))  # miss: 1
+        collector.on_send("a", "b", update(UpdateType.REFRESH))     # ovh: 1
+        collector.on_send("b", "a", ClearBitMessage("k"))          # ovh: 1
+        assert collector.miss_cost == 2
+        assert collector.overhead_cost == 2
+        assert collector.total_cost == 4
+
+    def test_miss_latency(self):
+        collector = MetricsCollector()
+        collector.misses = 4
+        for _ in range(8):
+            collector.on_send("a", "b", QueryMessage("k"))
+        assert collector.miss_latency == 2.0
+
+    def test_miss_latency_no_misses(self):
+        assert MetricsCollector().miss_latency == 0.0
+
+    def test_justified_fraction(self):
+        collector = MetricsCollector()
+        collector.justified_updates = 3
+        collector.unjustified_updates = 1
+        assert collector.justified_fraction == 0.75
+
+    def test_justified_fraction_empty(self):
+        assert MetricsCollector().justified_fraction == 0.0
+
+
+class TestSummary:
+    def make_summary(self, **overrides):
+        collector = MetricsCollector()
+        collector.misses = 10
+        for _ in range(30):
+            collector.on_send("a", "b", QueryMessage("k"))
+        for _ in range(10):
+            collector.on_send("a", "b", update(UpdateType.FIRST_TIME))
+        for _ in range(5):
+            collector.on_send("a", "b", update(UpdateType.REFRESH))
+        return collector.summary()
+
+    def test_summary_is_frozen(self):
+        summary = self.make_summary()
+        with pytest.raises(Exception):
+            summary.miss_cost = 0
+
+    def test_summary_consistency(self):
+        summary = self.make_summary()
+        assert summary.miss_cost == 40
+        assert summary.overhead_cost == 5
+        assert summary.total_cost == 45
+        assert summary.miss_latency == 4.0
+
+    def test_saved_miss_ratio(self):
+        cup = self.make_summary()
+        baseline_collector = MetricsCollector()
+        baseline_collector.misses = 20
+        for _ in range(90):
+            baseline_collector.on_send("a", "b", QueryMessage("k"))
+        baseline = baseline_collector.summary()
+        # saved = 90 - 40 = 50; overhead = 5 -> ratio 10.
+        assert cup.saved_miss_ratio(baseline) == pytest.approx(10.0)
+
+    def test_saved_miss_ratio_zero_overhead(self):
+        collector = MetricsCollector()
+        summary = collector.summary()
+        richer = self.make_summary()
+        assert summary.saved_miss_ratio(richer) == 0.0 or math.isinf(
+            summary.saved_miss_ratio(richer)
+        )
+
+    def test_cost_and_miss_ratios(self):
+        cup = self.make_summary()
+        assert cup.cost_ratio(cup) == 1.0
+        assert cup.miss_cost_ratio(cup) == 1.0
+
+
+class TestReportFormatting:
+    def test_format_float_integers(self):
+        assert format_float(5.0) == "5"
+        assert format_float(5.25) == "5.25"
+
+    def test_format_float_specials(self):
+        assert format_float(float("inf")) == "inf"
+        assert format_float(float("nan")) == "-"
+
+    def test_format_ratio(self):
+        assert format_ratio(55905, 55905) == "55905 (1.00)"
+        assert format_ratio(15183, 55905) == "15183 (0.27)"
+
+    def test_format_ratio_zero_baseline(self):
+        assert format_ratio(10, 0) == "10 (-)"
+
+    def test_table_rendering(self):
+        table = Table("Demo", ["a", "bb"])
+        table.add_row(1, 2.5)
+        table.add_row("x", "y")
+        text = table.render()
+        assert "Demo" in text
+        assert "2.50" in text or "2.5" in text
+        lines = text.splitlines()
+        assert len(lines) >= 5
+
+    def test_table_arity_checked(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_series(self):
+        text = render_series(
+            "Figure", "x", [0, 1], {"total": [10, 20], "miss": [5, None]}
+        )
+        assert "Figure" in text
+        assert "total" in text
+        assert "-" in text  # the None cell

@@ -1,0 +1,214 @@
+"""Unit and property tests for the Pastry overlay."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.base import RoutingError
+from repro.overlay.pastry import PastryOverlay
+
+
+def build(n=16, digits=8):
+    return PastryOverlay.build([f"n{i}" for i in range(n)], digits=digits)
+
+
+class TestMembership:
+    def test_build(self):
+        assert len(set(build(16).node_ids())) == 16
+
+    def test_duplicate_join_rejected(self):
+        overlay = build(4)
+        with pytest.raises(ValueError):
+            overlay.join("n0")
+
+    def test_leave(self):
+        overlay = build(8)
+        overlay.leave("n3")
+        assert "n3" not in set(overlay.node_ids())
+
+    def test_leave_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            build(4).leave("ghost")
+
+    def test_epoch_bumps(self):
+        overlay = build(4)
+        before = overlay.epoch
+        overlay.join("extra")
+        overlay.leave("extra")
+        assert overlay.epoch == before + 2
+
+    def test_digits_bounds(self):
+        with pytest.raises(ValueError):
+            PastryOverlay(digits=1)
+        with pytest.raises(ValueError):
+            PastryOverlay(digits=17)
+
+
+class TestPrefixArithmetic:
+    def test_shared_prefix_identical(self):
+        overlay = PastryOverlay(digits=8)
+        assert overlay.shared_prefix(0x12345678, 0x12345678) == 8
+
+    def test_shared_prefix_partial(self):
+        overlay = PastryOverlay(digits=8)
+        assert overlay.shared_prefix(0x12345678, 0x12340000) == 4
+
+    def test_shared_prefix_none(self):
+        overlay = PastryOverlay(digits=8)
+        assert overlay.shared_prefix(0x10000000, 0xF0000000) == 0
+
+
+class TestAuthority:
+    def test_authority_is_affinity_maximum(self):
+        overlay = build(24)
+        key = "content/item"
+        owner = overlay.authority(key)
+        key_pos = overlay.key_position(key)
+        owner_affinity = overlay._affinity(
+            overlay.node_position(owner), key_pos
+        )
+        for node_id in overlay.node_ids():
+            affinity = overlay._affinity(
+                overlay.node_position(node_id), key_pos
+            )
+            assert affinity <= owner_affinity
+
+    def test_authority_deterministic(self):
+        overlay = build(16)
+        assert overlay.authority("k") == overlay.authority("k")
+
+    def test_empty_overlay_raises(self):
+        with pytest.raises(RoutingError):
+            PastryOverlay().authority("k")
+
+    def test_ownership_moves_on_leave(self):
+        overlay = build(16)
+        key = "content/item"
+        owner = overlay.authority(key)
+        overlay.leave(owner)
+        assert overlay.authority(key) != owner
+
+
+class TestRouting:
+    def test_routes_reach_authority(self):
+        overlay = build(32)
+        for i in range(20):
+            key = f"key-{i}"
+            authority = overlay.authority(key)
+            for start in ("n0", "n9", "n31"):
+                path = overlay.route(start, key)
+                assert path[-1] == authority
+
+    def test_routes_are_simple(self):
+        overlay = build(32)
+        for i in range(10):
+            path = overlay.route("n0", f"key-{i}")
+            assert len(path) == len(set(path))
+
+    def test_route_length_logarithmic(self):
+        overlay = build(64)
+        worst = max(
+            overlay.distance(start, f"key-{i}")
+            for start in ("n0", "n21", "n63")
+            for i in range(25)
+        )
+        # O(log_16 n) expected; generous bound.
+        assert worst <= 4 * math.ceil(math.log(64, 16)) + 4
+
+    def test_prefix_grows_along_route(self):
+        overlay = build(64)
+        key = "key-7"
+        key_pos = overlay.key_position(key)
+        path = overlay.route("n0", key)
+        affinities = [
+            overlay._affinity(overlay.node_position(node), key_pos)
+            for node in path
+        ]
+        assert affinities == sorted(affinities)  # strictly improving
+
+    def test_next_hop_none_only_at_authority(self):
+        overlay = build(16)
+        key = "k"
+        authority = overlay.authority(key)
+        assert overlay.next_hop(authority, key) is None
+        for node_id in overlay.node_ids():
+            if node_id != authority:
+                assert overlay.next_hop(node_id, key) is not None
+
+    def test_non_member_raises(self):
+        with pytest.raises(RoutingError):
+            build(4).next_hop("ghost", "k")
+
+    def test_single_node(self):
+        overlay = PastryOverlay.build(["solo"])
+        assert overlay.authority("k") == "solo"
+        assert overlay.next_hop("solo", "k") is None
+
+
+class TestNeighbors:
+    def test_leaf_set_present(self):
+        overlay = build(16)
+        members = sorted(
+            (overlay.node_position(n), n) for n in overlay.node_ids()
+        )
+        for i, (_, name) in enumerate(members):
+            neighbors = set(overlay.neighbors(name))
+            successor = members[(i + 1) % len(members)][1]
+            predecessor = members[i - 1][1]
+            assert successor in neighbors
+            assert predecessor in neighbors
+
+    def test_neighbors_exclude_self(self):
+        overlay = build(16)
+        for name in overlay.node_ids():
+            assert name not in set(overlay.neighbors(name))
+
+    def test_routing_table_covers_first_hops(self):
+        overlay = build(32)
+        # The common-case first hop (a prefix hop) is a neighbor.
+        for i in range(10):
+            key = f"key-{i}"
+            start = "n0"
+            if overlay.authority(key) == start:
+                continue
+            hop = overlay.next_hop(start, key)
+            key_pos = overlay.key_position(key)
+            start_prefix = overlay.shared_prefix(
+                overlay.node_position(start), key_pos
+            )
+            hop_prefix = overlay.shared_prefix(
+                overlay.node_position(hop), key_pos
+            )
+            assert hop_prefix >= start_prefix
+
+
+@given(
+    st.sets(st.integers(0, 100_000), min_size=2, max_size=40),
+    st.text(alphabet="abcdef", min_size=1, max_size=6),
+    st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_routing_terminates_at_authority(seeds, key, data):
+    overlay = PastryOverlay.build([f"m{s}" for s in seeds])
+    names = list(overlay.node_ids())
+    start = data.draw(st.sampled_from(names))
+    path = overlay.route(start, key)
+    assert path[-1] == overlay.authority(key)
+    assert len(path) <= len(names) + 1
+
+
+class TestCupIntegration:
+    def test_cup_beats_standard_over_pastry(self):
+        from repro.core.protocol import CupConfig, CupNetwork
+
+        config = CupConfig(
+            num_nodes=64, total_keys=1, query_rate=1.2, seed=11,
+            overlay_type="pastry", entry_lifetime=100.0,
+            query_start=200.0, query_duration=1000.0, drain=200.0,
+        )
+        cup = CupNetwork(config).run()
+        std = CupNetwork(config.variant(mode="standard")).run()
+        assert cup.miss_cost < std.miss_cost
+        assert std.overhead_cost == 0

@@ -1,0 +1,183 @@
+"""Unit tests for the cut-off policies (§3.4)."""
+
+import pytest
+
+from repro.core.cache import KeyState
+from repro.core.policies import (
+    AllOutPolicy,
+    LinearPolicy,
+    LogarithmicPolicy,
+    LogBasedPolicy,
+    SecondChancePolicy,
+    make_policy,
+)
+
+
+def state_with_popularity(popularity):
+    state = KeyState("k")
+    state.popularity = popularity
+    return state
+
+
+class TestAllOut:
+    def test_always_keeps_receiving(self):
+        policy = AllOutPolicy()
+        assert policy.should_keep_receiving(state_with_popularity(0), 30)
+
+    def test_unbounded_forwarding(self):
+        assert AllOutPolicy().may_forward(10_000)
+
+    def test_push_level_gates_forwarding(self):
+        policy = AllOutPolicy(push_level=5)
+        # A node at distance D forwards to children at D+1.
+        assert policy.may_forward(4)
+        assert not policy.may_forward(5)
+
+    def test_push_level_zero_squelches_at_root(self):
+        assert not AllOutPolicy(push_level=0).may_forward(0)
+
+    def test_needs_distance_only_with_level(self):
+        assert not AllOutPolicy().needs_distance
+        assert AllOutPolicy(push_level=3).needs_distance
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            AllOutPolicy(push_level=-1)
+
+
+class TestLinear:
+    def test_keep_iff_popularity_at_least_alpha_distance(self):
+        policy = LinearPolicy(alpha=0.5)
+        assert policy.should_keep_receiving(state_with_popularity(5), 10)
+        assert not policy.should_keep_receiving(state_with_popularity(4), 10)
+
+    def test_distance_one_needs_alpha_queries(self):
+        policy = LinearPolicy(alpha=0.25)
+        assert policy.should_keep_receiving(state_with_popularity(1), 1)
+        assert not policy.should_keep_receiving(state_with_popularity(0), 1)
+
+    def test_needs_distance(self):
+        assert LinearPolicy(alpha=0.1).needs_distance
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            LinearPolicy(alpha=0.0)
+
+
+class TestLogarithmic:
+    def test_threshold_grows_with_log_distance(self):
+        policy = LogarithmicPolicy(alpha=2.0)
+        # lg(8) = 3 -> threshold 6.
+        assert policy.should_keep_receiving(state_with_popularity(6), 8)
+        assert not policy.should_keep_receiving(state_with_popularity(5), 8)
+
+    def test_distance_one_always_keeps(self):
+        policy = LogarithmicPolicy(alpha=5.0)
+        assert policy.should_keep_receiving(state_with_popularity(0), 1)
+
+    def test_more_lenient_than_linear_far_away(self):
+        linear = LinearPolicy(alpha=0.5)
+        logarithmic = LogarithmicPolicy(alpha=0.5)
+        state = state_with_popularity(3)
+        assert not linear.should_keep_receiving(state, 20)
+        assert logarithmic.should_keep_receiving(state, 20)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            LogarithmicPolicy(alpha=-1.0)
+
+
+def deliver_update(policy, state):
+    """Simulate one cut-off-relevant update arrival."""
+    policy.observe_update(state)
+    keep = policy.should_keep_receiving(state, distance=5)
+    state.popularity = 0
+    return keep
+
+
+class TestSecondChance:
+    def test_first_empty_interval_gets_second_chance(self):
+        policy = SecondChancePolicy()
+        state = state_with_popularity(0)
+        assert deliver_update(policy, state)  # strike 1: keep
+
+    def test_second_empty_interval_cuts(self):
+        policy = SecondChancePolicy()
+        state = state_with_popularity(0)
+        deliver_update(policy, state)
+        assert not deliver_update(policy, state)  # strike 2: cut
+
+    def test_query_resets_strikes(self):
+        policy = SecondChancePolicy()
+        state = state_with_popularity(0)
+        deliver_update(policy, state)  # strike 1
+        state.popularity = 2  # queries arrived
+        assert deliver_update(policy, state)  # reset
+        assert deliver_update(policy, state)  # strike 1 again: keep
+
+    def test_distance_independent(self):
+        assert not SecondChancePolicy().needs_distance
+
+    def test_fresh_state_keeps(self):
+        policy = SecondChancePolicy()
+        assert policy.should_keep_receiving(KeyState("k"), 5)
+
+
+class TestLogBased:
+    def test_window_of_three(self):
+        policy = LogBasedPolicy(strikes_to_cut=3)
+        state = state_with_popularity(0)
+        assert deliver_update(policy, state)
+        assert deliver_update(policy, state)
+        assert not deliver_update(policy, state)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            LogBasedPolicy(strikes_to_cut=0)
+
+    def test_policy_state_is_per_key(self):
+        policy = SecondChancePolicy()
+        a, b = state_with_popularity(0), state_with_popularity(0)
+        deliver_update(policy, a)
+        deliver_update(policy, a)
+        # Key b is unaffected by key a's strikes.
+        assert deliver_update(policy, b)
+
+
+class TestMakePolicy:
+    def test_all_out(self):
+        assert isinstance(make_policy("all-out"), AllOutPolicy)
+
+    def test_push_level(self):
+        policy = make_policy("push-level:7")
+        assert isinstance(policy, AllOutPolicy)
+        assert policy.push_level == 7
+
+    def test_linear(self):
+        policy = make_policy("linear:0.25")
+        assert isinstance(policy, LinearPolicy)
+        assert policy.alpha == 0.25
+
+    def test_logarithmic(self):
+        policy = make_policy("log:0.5")
+        assert isinstance(policy, LogarithmicPolicy)
+
+    def test_log_based(self):
+        policy = make_policy("log-based:4")
+        assert isinstance(policy, LogBasedPolicy)
+        assert policy.strikes_to_cut == 4
+
+    def test_second_chance(self):
+        assert isinstance(make_policy("second-chance"), SecondChancePolicy)
+
+    def test_case_and_spacing_tolerant(self):
+        assert isinstance(make_policy("  Second-Chance "), SecondChancePolicy)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("magic")
+
+    def test_names_are_descriptive(self):
+        assert make_policy("linear:0.25").name == "linear(alpha=0.25)"
+        assert make_policy("push-level:3").name == "push-level-3"
+        assert make_policy("second-chance").name == "second-chance"

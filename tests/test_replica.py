@@ -1,0 +1,157 @@
+"""Unit tests for replica lifecycle processes."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.can import CanOverlay
+from repro.replicas.replica import Replica, ReplicaSet
+from repro.sim.engine import Simulator
+from repro.sim.network import Transport
+
+
+class Sink:
+    """Records replica messages delivered to an authority node."""
+
+    def __init__(self):
+        self.messages = []
+
+    def receive(self, message, sender):
+        self.messages.append(message)
+
+
+def harness():
+    sim = Simulator()
+    net = Transport(sim, default_delay=0.01)
+    overlay = CanOverlay.perfect_grid(4)
+    sinks = {node_id: Sink() for node_id in overlay.node_ids()}
+    for node_id, sink in sinks.items():
+        net.register(node_id, sink)
+    return sim, net, overlay, sinks
+
+
+def authority_sink(overlay, sinks, key):
+    return sinks[overlay.authority(key)]
+
+
+class TestReplica:
+    def test_birth_announces_to_authority(self):
+        sim, net, overlay, sinks = harness()
+        replica = Replica(sim, net, overlay, "k", "k/r0", lifetime=50.0)
+        replica.birth()
+        sim.run_until(1.0)
+        sink = authority_sink(overlay, sinks, "k")
+        assert [m.event.value for m in sink.messages] == ["birth"]
+
+    def test_refreshes_at_expiration(self):
+        sim, net, overlay, sinks = harness()
+        replica = Replica(sim, net, overlay, "k", "k/r0", lifetime=50.0)
+        replica.birth()
+        sim.run_until(120.0)
+        sink = authority_sink(overlay, sinks, "k")
+        events = [m.event.value for m in sink.messages]
+        assert events == ["birth", "refresh", "refresh"]
+        assert replica.refreshes == 2
+
+    def test_graceful_death_sends_deletion(self):
+        sim, net, overlay, sinks = harness()
+        replica = Replica(sim, net, overlay, "k", "k/r0", lifetime=50.0)
+        replica.birth()
+        sim.run_until(10.0)
+        replica.die(graceful=True)
+        sim.run_until(200.0)
+        sink = authority_sink(overlay, sinks, "k")
+        events = [m.event.value for m in sink.messages]
+        assert events == ["birth", "death"]  # no refreshes after death
+
+    def test_silent_death_stops_refreshes(self):
+        sim, net, overlay, sinks = harness()
+        replica = Replica(sim, net, overlay, "k", "k/r0", lifetime=50.0)
+        replica.birth()
+        sim.run_until(10.0)
+        replica.die(graceful=False)
+        sim.run_until(200.0)
+        sink = authority_sink(overlay, sinks, "k")
+        assert [m.event.value for m in sink.messages] == ["birth"]
+
+    def test_double_birth_rejected(self):
+        sim, net, overlay, _ = harness()
+        replica = Replica(sim, net, overlay, "k", "k/r0", lifetime=50.0)
+        replica.birth()
+        with pytest.raises(RuntimeError):
+            replica.birth()
+
+    def test_die_idempotent(self):
+        sim, net, overlay, _ = harness()
+        replica = Replica(sim, net, overlay, "k", "k/r0", lifetime=50.0)
+        replica.birth()
+        replica.die()
+        replica.die()
+
+    def test_invalid_lifetime(self):
+        sim, net, overlay, _ = harness()
+        with pytest.raises(ValueError):
+            Replica(sim, net, overlay, "k", "k/r0", lifetime=0.0)
+
+
+class TestReplicaSet:
+    def test_population_size(self):
+        sim, net, overlay, _ = harness()
+        replicas = ReplicaSet(
+            sim, net, overlay, ["a", "b"], replicas_per_key=3,
+            lifetime=50.0, rng=np.random.default_rng(1),
+        )
+        assert len(replicas) == 6
+        assert len(replicas.by_key["a"]) == 3
+
+    def test_births_staggered_within_lifetime(self):
+        sim, net, overlay, _ = harness()
+        replicas = ReplicaSet(
+            sim, net, overlay, ["a"], replicas_per_key=20,
+            lifetime=50.0, rng=np.random.default_rng(1),
+        )
+        replicas.schedule_births(at=0.0)
+        sim.run_until(50.0)
+        assert replicas.live_count() == 20
+        offsets = list(replicas._birth_offsets.values())
+        assert min(offsets) >= 0.0
+        assert max(offsets) < 50.0
+        assert len(set(round(o, 6) for o in offsets)) > 1
+
+    def test_unstaggered_births_fire_together(self):
+        sim, net, overlay, _ = harness()
+        replicas = ReplicaSet(
+            sim, net, overlay, ["a"], replicas_per_key=5,
+            lifetime=50.0, rng=np.random.default_rng(1), stagger=False,
+        )
+        replicas.schedule_births(at=3.0)
+        sim.run_until(3.0)
+        assert replicas.live_count() == 5
+
+    def test_kill_fraction(self):
+        sim, net, overlay, _ = harness()
+        replicas = ReplicaSet(
+            sim, net, overlay, ["a"], replicas_per_key=10,
+            lifetime=50.0, rng=np.random.default_rng(1), stagger=False,
+        )
+        replicas.schedule_births(at=0.0)
+        sim.run_until(1.0)
+        killed = replicas.kill_fraction(0.5, np.random.default_rng(2))
+        assert len(killed) == 5
+        assert replicas.live_count() == 5
+
+    def test_kill_fraction_bounds(self):
+        sim, net, overlay, _ = harness()
+        replicas = ReplicaSet(
+            sim, net, overlay, ["a"], replicas_per_key=2,
+            lifetime=50.0, rng=np.random.default_rng(1),
+        )
+        with pytest.raises(ValueError):
+            replicas.kill_fraction(1.5, np.random.default_rng(2))
+
+    def test_negative_replica_count_rejected(self):
+        sim, net, overlay, _ = harness()
+        with pytest.raises(ValueError):
+            ReplicaSet(
+                sim, net, overlay, ["a"], replicas_per_key=-1,
+                lifetime=50.0, rng=np.random.default_rng(1),
+            )

@@ -1,0 +1,165 @@
+"""Unit tests for the transport layer."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Link, Message, Transport
+
+
+class Recorder:
+    """Minimal message handler that records deliveries."""
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, message, sender):
+        self.received.append((message, sender))
+
+
+class Ping(Message):
+    kind = "ping"
+    __slots__ = ()
+
+
+def make_net(default_delay=0.1):
+    sim = Simulator()
+    net = Transport(sim, default_delay=default_delay)
+    return sim, net
+
+
+class TestLink:
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "a", 0.1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", -0.1)
+
+    def test_key_is_canonical(self):
+        assert Link("a", "b", 0.1).key() == Link("b", "a", 0.2).key()
+
+
+class TestDelivery:
+    def test_message_delivered_after_default_delay(self):
+        sim, net = make_net(default_delay=0.25)
+        handler = Recorder()
+        net.register("b", handler)
+        net.register("a", Recorder())
+        net.send("a", "b", Ping())
+        sim.run_until(0.2)
+        assert handler.received == []
+        sim.run_until(0.3)
+        assert len(handler.received) == 1
+        assert handler.received[0][1] == "a"
+
+    def test_link_delay_overrides_default(self):
+        sim, net = make_net(default_delay=1.0)
+        handler = Recorder()
+        net.register("a", Recorder())
+        net.register("b", handler)
+        net.add_link("a", "b", delay=0.05)
+        net.send("a", "b", Ping())
+        sim.run_until(0.1)
+        assert len(handler.received) == 1
+
+    def test_hops_incremented_per_link(self):
+        sim, net = make_net()
+        handler = Recorder()
+        net.register("a", Recorder())
+        net.register("b", handler)
+        message = Ping()
+        net.send("a", "b", message)
+        sim.run()
+        assert message.hops == 1
+
+    def test_send_to_self_rejected(self):
+        _, net = make_net()
+        net.register("a", Recorder())
+        with pytest.raises(ValueError):
+            net.send("a", "a", Ping())
+
+    def test_send_to_unregistered_is_dropped(self):
+        sim, net = make_net()
+        net.register("a", Recorder())
+        net.send("a", "ghost", Ping())
+        sim.run()
+        assert net.dropped == 1
+        assert net.delivered == 0
+
+    def test_unregister_midflight_drops(self):
+        sim, net = make_net(default_delay=0.5)
+        handler = Recorder()
+        net.register("a", Recorder())
+        net.register("b", handler)
+        net.send("a", "b", Ping())
+        net.unregister("b")
+        sim.run()
+        assert handler.received == []
+        assert net.dropped == 1
+
+    def test_unregister_removes_links(self):
+        _, net = make_net(default_delay=0.5)
+        net.register("a", Recorder())
+        net.register("b", Recorder())
+        net.add_link("a", "b", delay=0.01)
+        net.unregister("b")
+        assert net.link_delay("a", "b") == 0.5  # back to default
+
+    def test_send_direct_bypasses_observers_and_counts(self):
+        sim, net = make_net()
+        handler = Recorder()
+        observed = []
+        net.register("b", handler)
+        net.add_send_observer(lambda s, d, m: observed.append(m))
+        message = Ping()
+        net.send_direct("b", message, delay=0.2)
+        sim.run()
+        assert len(handler.received) == 1
+        assert observed == []
+        assert message.hops == 0
+
+    def test_counters(self):
+        sim, net = make_net()
+        net.register("a", Recorder())
+        net.register("b", Recorder())
+        net.send("a", "b", Ping())
+        net.send("a", "ghost", Ping())
+        sim.run()
+        assert net.sent == 2
+        assert net.delivered == 1
+        assert net.dropped == 1
+
+
+class TestObservers:
+    def test_observer_fires_per_hop_send(self):
+        sim, net = make_net()
+        seen = []
+        net.register("a", Recorder())
+        net.register("b", Recorder())
+        net.add_send_observer(lambda src, dst, m: seen.append((src, dst)))
+        net.send("a", "b", Ping())
+        assert seen == [("a", "b")]  # fires at send time, pre-delivery
+
+    def test_observer_fires_even_for_doomed_sends(self):
+        sim, net = make_net()
+        seen = []
+        net.register("a", Recorder())
+        net.add_send_observer(lambda src, dst, m: seen.append(dst))
+        net.send("a", "ghost", Ping())
+        sim.run()
+        assert seen == ["ghost"]
+
+    def test_multiple_observers_all_fire(self):
+        sim, net = make_net()
+        first, second = [], []
+        net.register("a", Recorder())
+        net.register("b", Recorder())
+        net.add_send_observer(lambda *a: first.append(1))
+        net.add_send_observer(lambda *a: second.append(1))
+        net.send("a", "b", Ping())
+        assert first == [1] and second == [1]
+
+    def test_negative_default_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Transport(Simulator(), default_delay=-0.1)

@@ -1,0 +1,112 @@
+"""Unit tests for timers and periodic processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, fired.append, "x")
+        timer.start(2.0)
+        sim.run_until(1.9)
+        assert fired == []
+        sim.run_until(2.1)
+        assert fired == ["x"]
+
+    def test_restart_reschedules(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run_until(1.0)
+        timer.start(2.0)  # re-arm at t=1 -> fires at t=3
+        sim.run()
+        assert fired == [3.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, fired.append, True)
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_armed_property(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        timer.start(1.0)
+        assert timer.armed
+        sim.run()
+        assert not timer.armed
+
+    def test_cancel_idempotent(self):
+        timer = Timer(Simulator(), lambda: None)
+        timer.cancel()
+        timer.cancel()
+
+
+class TestPeriodicProcess:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        times = []
+        PeriodicProcess(sim, 10.0, lambda: times.append(sim.now))
+        sim.run_until(35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_phase_controls_first_firing(self):
+        sim = Simulator()
+        times = []
+        PeriodicProcess(sim, 10.0, lambda: times.append(sim.now), phase=3.0)
+        sim.run_until(25.0)
+        assert times == [3.0, 13.0, 23.0]
+
+    def test_stop_halts_future_firings(self):
+        sim = Simulator()
+        times = []
+        proc = PeriodicProcess(sim, 10.0, lambda: times.append(sim.now))
+        sim.run_until(15.0)
+        proc.stop()
+        sim.run_until(50.0)
+        assert times == [10.0]
+        assert not proc.running
+
+    def test_returning_false_stops_process(self):
+        sim = Simulator()
+        count = []
+
+        def tick():
+            count.append(1)
+            return len(count) < 3 or False if len(count) < 3 else False
+
+        proc = PeriodicProcess(sim, 1.0, tick)
+        sim.run_until(10.0)
+        assert len(count) == 3
+        assert not proc.running
+
+    def test_jitter_applied(self):
+        sim = Simulator()
+        times = []
+        PeriodicProcess(
+            sim, 10.0, lambda: times.append(sim.now), jitter_fn=lambda: 1.0
+        )
+        sim.run_until(25.0)
+        # First firing after one plain period, then period+jitter gaps.
+        assert times[0] == 10.0
+        assert times[1] == pytest.approx(21.0)
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicProcess(Simulator(), 0.0, lambda: None)
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        count = []
+        proc = PeriodicProcess(sim, 1.0, lambda: (count.append(1), proc.stop()))
+        sim.run_until(10.0)
+        assert len(count) == 1

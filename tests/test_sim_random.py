@@ -1,0 +1,50 @@
+"""Unit tests for named random streams."""
+
+import pytest
+
+from repro.sim.random import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(seed=7).get("workload")
+        b = RandomStreams(seed=7).get("workload")
+        assert list(a.random(10)) == list(b.random(10))
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(seed=7)
+        a = list(streams.get("workload").random(10))
+        b = list(streams.get("topology").random(10))
+        assert a != b
+
+    def test_consuming_one_stream_leaves_others_untouched(self):
+        control = RandomStreams(seed=7)
+        expected = list(control.get("workload").random(10))
+
+        perturbed = RandomStreams(seed=7)
+        perturbed.get("capacity").random(1000)  # extra draws elsewhere
+        assert list(perturbed.get("workload").random(10)) == expected
+
+    def test_get_returns_same_generator_instance(self):
+        streams = RandomStreams(seed=7)
+        assert streams.get("x") is streams.get("x")
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).get("workload")
+        b = RandomStreams(seed=2).get("workload")
+        assert list(a.random(10)) != list(b.random(10))
+
+    def test_spawn_child_is_deterministic(self):
+        a = RandomStreams(seed=7).spawn("replica-1").get("lifetime")
+        b = RandomStreams(seed=7).spawn("replica-1").get("lifetime")
+        assert list(a.random(5)) == list(b.random(5))
+
+    def test_spawn_children_differ(self):
+        root = RandomStreams(seed=7)
+        a = root.spawn("r1").get("x")
+        b = root.spawn("r2").get("x")
+        assert list(a.random(5)) != list(b.random(5))
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomStreams(seed="zero")

@@ -1,0 +1,53 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "query", key="k")
+        assert tracer.records == []
+
+    def test_enabled_records(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(1.0, "query", key="k")
+        assert len(tracer.records) == 1
+        assert tracer.records[0].fields == {"key": "k"}
+
+    def test_category_filter(self):
+        tracer = Tracer(enabled=True, categories=["update"])
+        tracer.emit(1.0, "query", key="k")
+        tracer.emit(2.0, "update", key="k")
+        assert [r.category for r in tracer.records] == ["update"]
+
+    def test_by_category(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(1.0, "a")
+        tracer.emit(2.0, "b")
+        tracer.emit(3.0, "a")
+        assert [r.time for r in tracer.by_category("a")] == [1.0, 3.0]
+
+    def test_retention_cap(self):
+        tracer = Tracer(enabled=True, max_records=5)
+        for i in range(10):
+            tracer.emit(float(i), "x", i=i)
+        assert len(tracer.records) == 5
+        assert tracer.records[0].fields["i"] == 5
+
+    def test_sink_invoked(self):
+        seen = []
+        tracer = Tracer(enabled=True, sink=seen.append)
+        tracer.emit(1.0, "x")
+        assert len(seen) == 1
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit(1.0, "x")
+        tracer.clear()
+        assert tracer.records == []
+
+    def test_record_repr_readable(self):
+        record = TraceRecord(1.5, "query", {"key": "k1"})
+        text = repr(record)
+        assert "query" in text and "k1" in text

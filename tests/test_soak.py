@@ -1,0 +1,142 @@
+"""Soak test: every failure mode at once.
+
+One simulated hour on a 128-node CAN with everything the paper throws at
+a deployment happening simultaneously:
+
+* node joins, graceful departures and silent crashes (detected by the
+  §2.1 keep-alive loop),
+* capacity fault episodes on random node subsets (§3.7),
+* replica deaths and re-announcements,
+* a steady multi-key query workload.
+
+The run must stay internally consistent: queries keep resolving, no
+expired entry is ever served, accounting identities hold, and the
+network ends with a coherent membership.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.channels import CapacityConfig
+from repro.core.protocol import CupConfig, CupNetwork
+from repro.workload.churn import ChurnSchedule
+from repro.workload.faults import CapacityFaultSchedule, up_and_down
+
+
+@pytest.mark.slow
+def test_everything_at_once_soak():
+    config = CupConfig(
+        num_nodes=128,
+        total_keys=8,
+        replicas_per_key=3,
+        entry_lifetime=120.0,
+        query_rate=15.0,
+        query_start=300.0,
+        query_duration=3000.0,
+        drain=300.0,
+        seed=77,
+        pfu_timeout=20.0,
+        failure_sweep_interval=60.0,
+    )
+    net = CupNetwork(config)
+    net.enable_keepalive(period=10.0, miss_threshold=3)
+
+    # --- capacity fault episodes --------------------------------------
+    faults = CapacityFaultSchedule(
+        net.sim, list(net.nodes), net.set_node_capacity,
+        fraction=0.15, reduced=0.25, rng=net.streams.get("faults"),
+    )
+    up_and_down(
+        faults, start=config.query_start, end=config.query_end,
+        warmup=200.0, down_for=400.0, stable_for=200.0,
+    )
+
+    # --- membership churn (plus silent crashes) ------------------------
+    churn = ChurnSchedule(net.sim, net)
+    churn.poisson(
+        rate=0.01, start=config.query_start, end=config.query_end,
+        rng=net.streams.get("churn"),
+    )
+    crash_rng = np.random.default_rng(99)
+    crash_times = [800.0, 1600.0, 2400.0]
+    for at in crash_times:
+        def crash(rng=crash_rng):
+            live = [
+                n for n in net.live_node_ids() if isinstance(n, int)
+            ]
+            if len(live) > 8:
+                net.crash_node(live[int(rng.integers(len(live)))])
+
+        net.sim.schedule_at(at, crash)
+
+    # --- replica churn --------------------------------------------------
+    def kill_and_replace():
+        victims = net.replicas.kill_fraction(
+            0.2, net.streams.get("replica-churn"), graceful=False
+        )
+        for replica in victims:
+            net.sim.schedule(150.0, replica.birth)
+
+    net.sim.schedule_at(1200.0, kill_and_replace)
+
+    # --- instrumentation: no expired entry ever answers a query --------
+    from repro.core import node as node_module
+
+    violations = []
+    original = node_module.CupNode._answer_query
+
+    def checked(self, state, entries, from_neighbor, path, now):
+        for entry in entries:
+            if not entry.is_fresh(now):
+                violations.append((self.node_id, entry))
+        return original(self, state, entries, from_neighbor, path, now)
+
+    node_module.CupNode._answer_query = checked
+    try:
+        summary = net.run()
+    finally:
+        node_module.CupNode._answer_query = original
+
+    # --- invariants ------------------------------------------------------
+    assert violations == [], "expired entries served"
+    assert summary.local_hits + summary.misses == summary.queries_posted
+    assert (
+        summary.first_time_misses + summary.freshness_misses
+        == summary.misses
+    )
+    assert summary.total_cost == summary.miss_cost + summary.overhead_cost
+
+    # Crashes were detected and repaired.
+    assert net.failure_detections, "no crash was ever detected"
+    assert net._crashed == set(), "a crash went unrepaired"
+    for _, __, suspect in net.failure_detections:
+        assert suspect not in net.nodes
+        assert suspect not in net.overlay
+
+    # Queries kept resolving through the mayhem (in-flight at crash
+    # instants may be lost; the bound is deliberately strict anyway).
+    resolved = summary.local_hits + summary.answers_delivered
+    assert resolved >= summary.queries_posted * 0.995
+
+    # Membership is coherent: overlay and node table agree.
+    assert set(net.overlay.node_ids()) == set(net.nodes)
+    # The CAN still tiles the torus.
+    volume = sum(
+        zone.volume()
+        for node_id in net.overlay.node_ids()
+        for zone in net.overlay.state(node_id).zones
+    )
+    assert volume == pytest.approx(1.0)
+
+    # Everyone ended back at full capacity; a fresh query from every node
+    # resolves.
+    for node_id in list(net.nodes):
+        net.set_node_capacity(node_id, CapacityConfig())
+    before = net.metrics.local_hits + net.metrics.answers_delivered
+    posted = 0
+    for node_id in list(net.nodes)[:32]:
+        net.post_query(node_id, net.keys[0])
+        posted += 1
+    net.run_until(net.sim.now + 60.0)
+    after = net.metrics.local_hits + net.metrics.answers_delivered
+    assert after - before >= posted

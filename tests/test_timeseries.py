@@ -1,0 +1,97 @@
+"""Tests for the time-series metrics sampler."""
+
+import pytest
+
+from repro.metrics.timeseries import TimeSeriesSampler
+from repro.sim.engine import Simulator
+
+
+class TestSampler:
+    def make(self, period=10.0):
+        sim = Simulator()
+        counter = {"value": 0.0}
+        sampler = TimeSeriesSampler(
+            sim, period, {"counter": lambda: counter["value"]}
+        )
+        return sim, counter, sampler
+
+    def test_samples_on_period(self):
+        sim, counter, sampler = self.make()
+        sim.schedule(15.0, lambda: counter.update(value=5.0))
+        sim.run_until(35.0)
+        assert sampler.times == [0.0, 10.0, 20.0, 30.0]
+        assert sampler.series("counter") == [0.0, 0.0, 5.0, 5.0]
+
+    def test_deltas(self):
+        sim, counter, sampler = self.make()
+        sim.schedule(5.0, lambda: counter.update(value=3.0))
+        sim.schedule(15.0, lambda: counter.update(value=10.0))
+        sim.run_until(25.0)
+        assert sampler.deltas("counter") == [3.0, 7.0]
+
+    def test_stop(self):
+        sim, counter, sampler = self.make()
+        sim.run_until(15.0)
+        sampler.stop()
+        sim.run_until(100.0)
+        assert len(sampler.times) == 2
+
+    def test_window_of(self):
+        sim, _, sampler = self.make()
+        sim.run_until(35.0)
+        assert sampler.window_of(12.0) == 1
+        assert sampler.window_of(0.0) == 0
+        assert sampler.window_of(99.0) == 3
+
+    def test_window_of_without_samples(self):
+        sim = Simulator()
+        sampler = TimeSeriesSampler(sim, 10.0, {"x": lambda: 0.0})
+        with pytest.raises(ValueError):
+            sampler.window_of(1.0)
+
+    def test_peak_window(self):
+        sim, counter, sampler = self.make()
+        sim.schedule(22.0, lambda: counter.update(value=100.0))
+        sim.run_until(45.0)
+        assert sampler.peak_window("counter") == 2
+
+    def test_render_sparkline(self):
+        sim, counter, sampler = self.make()
+        sim.schedule(25.0, lambda: counter.update(value=50.0))
+        sim.run_until(55.0)
+        text = sampler.render(["counter"])
+        assert "counter" in text
+        assert "|" in text
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(sim, 0.0, {"x": lambda: 0.0})
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(sim, 1.0, {})
+
+
+class TestWithSimulation:
+    def test_samples_a_real_run(self):
+        from repro.core.protocol import CupConfig, CupNetwork
+
+        config = CupConfig(
+            num_nodes=16, total_keys=1, query_rate=2.0, seed=4,
+            entry_lifetime=50.0, query_start=50.0, query_duration=200.0,
+            drain=50.0,
+        )
+        net = CupNetwork(config)
+        sampler = TimeSeriesSampler(
+            net.sim, 25.0,
+            {
+                "miss_cost": lambda: float(net.metrics.miss_cost),
+                "overhead": lambda: float(net.metrics.overhead_cost),
+            },
+        )
+        net.run()
+        assert len(sampler.times) >= 10
+        # Cumulative counters never decrease.
+        series = sampler.series("miss_cost")
+        assert all(b >= a for a, b in zip(series, series[1:]))
+        # No queries before the query phase: first window has no misses.
+        assert sampler.series("miss_cost")[1] == 0.0

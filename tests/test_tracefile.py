@@ -1,0 +1,117 @@
+"""Tests for query trace capture, persistence and replay."""
+
+import pytest
+
+from repro.core.protocol import CupConfig, CupNetwork
+from repro.workload.tracefile import QueryTrace
+
+
+def make_network(**overrides):
+    base = dict(
+        num_nodes=16, total_keys=2, query_rate=2.0, seed=8,
+        entry_lifetime=50.0, query_start=50.0, query_duration=200.0,
+        drain=50.0,
+    )
+    base.update(overrides)
+    return CupNetwork(CupConfig(**base))
+
+
+class TestCapture:
+    def test_capture_records_every_posted_query(self):
+        net = make_network()
+        trace = QueryTrace.capture(net)
+        summary = net.run()
+        assert len(trace) == summary.queries_posted
+        assert trace.keys() <= set(net.keys)
+
+    def test_records_are_time_ordered(self):
+        net = make_network()
+        trace = QueryTrace.capture(net)
+        net.run()
+        times = [at for at, _, __ in trace.records]
+        assert times == sorted(times)
+        lo, hi = trace.span()
+        assert 50.0 <= lo and hi < 250.0
+
+
+class TestReplay:
+    def test_replay_reproduces_the_run_exactly(self):
+        source = make_network()
+        trace = QueryTrace.capture(source)
+        source_summary = source.run()
+
+        twin = make_network()  # same config, fresh network
+        scheduled = trace.replay_into(twin)
+        twin.sim.run_until(twin.config.sim_end)
+        twin_summary = twin.metrics.summary()
+        assert scheduled == len(trace)
+        assert twin_summary == source_summary
+
+    def test_replay_under_different_protocol(self):
+        source = make_network()
+        trace = QueryTrace.capture(source)
+        cup_summary = source.run()
+
+        std = make_network(mode="standard")
+        trace.replay_into(std)
+        std.sim.run_until(std.config.sim_end)
+        std_summary = std.metrics.summary()
+        # Identical query stream, different protocol economics.
+        assert std_summary.queries_posted == cup_summary.queries_posted
+        assert std_summary.overhead_cost == 0
+
+    def test_replay_skips_unknown_nodes(self):
+        trace = QueryTrace([(1.0, 999, "k00000"), (2.0, 0, "k00000")])
+        net = make_network()
+        assert trace.replay_into(net) == 1
+
+    def test_strict_replay_raises_on_unknown_nodes(self):
+        trace = QueryTrace([(1.0, 999, "k00000")])
+        net = make_network()
+        with pytest.raises(ValueError):
+            trace.replay_into(net, strict=True)
+
+    def test_replay_tolerates_churn_at_fire_time(self):
+        trace = QueryTrace([(60.0, 3, "k00000")])
+        net = make_network()
+        trace.replay_into(net)
+        net.run_until(55.0)
+        net.leave_node(3, graceful=True)  # departs before the event fires
+        net.run_until(100.0)  # must not crash
+        assert net.metrics.queries_posted == 0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        source = make_network()
+        trace = QueryTrace.capture(source)
+        source.run()
+        path = tmp_path / "queries.tsv"
+        trace.save(path)
+        loaded = QueryTrace.load(path)
+        assert loaded.records == trace.records
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.tsv"
+        path.write_text(
+            "# a hand-authored trace\n"
+            "\n"
+            "1.500000\t3\tk00000\n"
+            "2.000000\tgateway\tk00001\n"
+        )
+        trace = QueryTrace.load(path)
+        assert trace.records == [
+            (1.5, 3, "k00000"),
+            (2.0, "gateway", "k00001"),
+        ]
+
+    def test_load_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1.0\tonly-two-fields\n")
+        with pytest.raises(ValueError):
+            QueryTrace.load(path)
+
+    def test_span_and_len_empty(self):
+        trace = QueryTrace()
+        assert len(trace) == 0
+        assert trace.span() == (0.0, 0.0)

@@ -1,0 +1,106 @@
+"""Unit tests for CUP query trees (§2.10, §3.1)."""
+
+import pytest
+
+from repro.core.trees import QueryTree
+from repro.overlay.can import CanOverlay
+
+
+@pytest.fixture()
+def grid():
+    return CanOverlay.perfect_grid(64)
+
+
+class TestVirtualTree:
+    def test_spans_all_nodes(self, grid):
+        tree = QueryTree.virtual(grid, "key-1")
+        assert tree.nodes == set(grid.node_ids())
+
+    def test_root_is_authority(self, grid):
+        tree = QueryTree.virtual(grid, "key-1")
+        assert tree.root == grid.authority("key-1")
+        assert tree.parent[tree.root] is None
+        assert tree.depth[tree.root] == 0
+
+    def test_every_node_has_one_parent(self, grid):
+        tree = QueryTree.virtual(grid, "key-1")
+        for node in tree.nodes - {tree.root}:
+            parent = tree.parent[node]
+            assert parent is not None
+            assert node in tree.children[parent]
+
+    def test_depths_match_route_lengths(self, grid):
+        tree = QueryTree.virtual(grid, "key-1")
+        for node in list(tree.nodes)[:16]:
+            assert tree.depth[node] == grid.distance(node, "key-1")
+
+    def test_path_to_root_follows_overlay_route(self, grid):
+        tree = QueryTree.virtual(grid, "key-1")
+        node = next(iter(tree.nodes - {tree.root}))
+        assert tree.path_to_root(node) == grid.route(node, "key-1")
+
+
+class TestRealTree:
+    def test_subset_of_virtual(self, grid):
+        real = QueryTree.real(grid, "key-1", [0, 17, 35])
+        virtual = QueryTree.virtual(grid, "key-1")
+        assert real.nodes <= virtual.nodes
+        for node in real.nodes - {real.root}:
+            assert real.parent[node] == virtual.parent[node]
+
+    def test_contains_querying_paths(self, grid):
+        real = QueryTree.real(grid, "key-1", [42])
+        assert set(grid.route(42, "key-1")) == real.nodes
+
+    def test_empty_real_tree_is_root_only(self, grid):
+        real = QueryTree.real(grid, "key-1", [])
+        assert real.nodes == {real.root}
+
+    def test_overlapping_paths_merge(self, grid):
+        a, b = 3, 4
+        real = QueryTree.real(grid, "key-1", [a, b])
+        assert len(real) <= len(grid.route(a, "key-1")) + len(
+            grid.route(b, "key-1")
+        )
+
+
+class TestSubtrees:
+    def test_subtree_of_root_is_everything(self, grid):
+        tree = QueryTree.virtual(grid, "key-1")
+        assert set(tree.subtree(tree.root)) == tree.nodes
+
+    def test_subtree_members_route_through_node(self, grid):
+        tree = QueryTree.virtual(grid, "key-1")
+        # Pick an interior node (a child of the root).
+        interior = tree.children[tree.root][0]
+        for member in tree.subtree(interior):
+            assert interior in tree.path_to_root(member)
+
+    def test_subtree_of_unknown_node_raises(self, grid):
+        tree = QueryTree.real(grid, "key-1", [0])
+        with pytest.raises(KeyError):
+            list(tree.subtree("not-there"))
+
+    def test_nodes_within_level(self, grid):
+        tree = QueryTree.virtual(grid, "key-1")
+        reachable = tree.nodes_within(2)
+        assert all(tree.depth[n] <= 2 for n in reachable)
+        assert tree.root in reachable
+
+    def test_max_depth(self, grid):
+        tree = QueryTree.virtual(grid, "key-1")
+        assert tree.max_depth() == max(tree.depth.values())
+
+    def test_aggregate_rate_sums_subtree(self, grid):
+        tree = QueryTree.virtual(grid, "key-1")
+        rates = {node: 0.5 for node in tree.nodes}
+        assert tree.aggregate_rate(tree.root, rates) == pytest.approx(
+            0.5 * len(tree)
+        )
+        leaf = next(n for n in tree.nodes if not tree.children.get(n))
+        assert tree.aggregate_rate(leaf, rates) == 0.5
+
+    def test_contains_and_len(self, grid):
+        tree = QueryTree.real(grid, "key-1", [9])
+        assert 9 in tree
+        assert len(tree) == len(tree.nodes)

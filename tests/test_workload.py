@@ -1,0 +1,320 @@
+"""Tests for workload generation: arrivals, key selection, faults, churn."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workload.churn import ChurnSchedule
+from repro.workload.faults import (
+    CapacityFaultSchedule,
+    once_down_always_down,
+    up_and_down,
+)
+from repro.workload.generator import QueryWorkload, uniform_node_selector
+from repro.workload.keyspace import FlashCrowdKeys, UniformKeys, ZipfKeys
+
+
+class TestPoissonArrivals:
+    def test_mean_inter_arrival(self):
+        arrivals = PoissonArrivals(rate=4.0, rng=np.random.default_rng(1))
+        gaps = [arrivals.next_gap() for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(0.25, rel=0.05)
+
+    def test_gaps_positive(self):
+        arrivals = PoissonArrivals(rate=10.0, rng=np.random.default_rng(1))
+        assert all(arrivals.next_gap() >= 0 for _ in range(100))
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0, rng=np.random.default_rng(1))
+
+    def test_iterable(self):
+        arrivals = PoissonArrivals(rate=1.0, rng=np.random.default_rng(1))
+        count = sum(1 for _, __ in zip(range(5), arrivals))
+        assert count == 5
+
+
+class TestDeterministicArrivals:
+    def test_yields_in_order(self):
+        arrivals = DeterministicArrivals([1.0, 2.0, 0.5])
+        assert [arrivals.next_gap() for _ in range(3)] == [1.0, 2.0, 0.5]
+
+    def test_exhaustion_raises_stop(self):
+        arrivals = DeterministicArrivals([1.0])
+        arrivals.next_gap()
+        with pytest.raises(StopIteration):
+            arrivals.next_gap()
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicArrivals([1.0, -0.5])
+
+    def test_remaining(self):
+        arrivals = DeterministicArrivals([1.0, 2.0])
+        arrivals.next_gap()
+        assert arrivals.remaining == 1
+
+
+class TestKeySelectors:
+    def test_uniform_covers_keys(self):
+        keys = [f"k{i}" for i in range(8)]
+        selector = UniformKeys(keys, np.random.default_rng(1))
+        seen = {selector.select(0.0) for _ in range(500)}
+        assert seen == set(keys)
+
+    def test_uniform_requires_keys(self):
+        with pytest.raises(ValueError):
+            UniformKeys([], np.random.default_rng(1))
+
+    def test_zipf_concentrates_on_head(self):
+        keys = [f"k{i}" for i in range(100)]
+        selector = ZipfKeys(keys, s=1.2, rng=np.random.default_rng(1))
+        from collections import Counter
+
+        counts = Counter(selector.select(0.0) for _ in range(20_000))
+        top_share = counts.most_common(1)[0][1] / 20_000
+        assert top_share > 0.15  # rank-1 share for s=1.2 over 100 keys
+
+    def test_zipf_probability_sums_to_one(self):
+        keys = [f"k{i}" for i in range(10)]
+        selector = ZipfKeys(keys, s=0.8, rng=np.random.default_rng(1))
+        total = sum(selector.probability(r) for r in range(1, 11))
+        assert total == pytest.approx(1.0)
+
+    def test_zipf_probabilities_decrease_by_rank(self):
+        keys = [f"k{i}" for i in range(10)]
+        selector = ZipfKeys(keys, s=1.0, rng=np.random.default_rng(1))
+        probs = [selector.probability(r) for r in range(1, 11)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_zipf_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfKeys(["a"], s=-1.0, rng=np.random.default_rng(1))
+
+    def test_flash_crowd_window(self):
+        base = UniformKeys(["cold1", "cold2"], np.random.default_rng(1))
+        selector = FlashCrowdKeys(
+            base, hot_key="hot", start=10.0, end=20.0, hot_share=1.0,
+            rng=np.random.default_rng(2),
+        )
+        assert selector.select(15.0) == "hot"
+        assert selector.select(5.0) != "hot"
+        assert selector.select(25.0) != "hot"
+
+    def test_flash_crowd_share(self):
+        base = UniformKeys(["cold"], np.random.default_rng(1))
+        selector = FlashCrowdKeys(
+            base, "hot", 0.0, 100.0, hot_share=0.5,
+            rng=np.random.default_rng(2),
+        )
+        picks = [selector.select(1.0) for _ in range(4000)]
+        share = picks.count("hot") / len(picks)
+        assert 0.45 <= share <= 0.55
+
+    def test_flash_crowd_validation(self):
+        base = UniformKeys(["c"], np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            FlashCrowdKeys(base, "h", 10.0, 5.0, 0.5, np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            FlashCrowdKeys(base, "h", 0.0, 5.0, 1.5, np.random.default_rng(2))
+
+
+class TestQueryWorkload:
+    def run_workload(self, gaps, start=10.0, duration=100.0):
+        sim = Simulator()
+        posted = []
+        workload = QueryWorkload(
+            sim=sim,
+            arrivals=DeterministicArrivals(gaps),
+            key_selector=UniformKeys(["k"], np.random.default_rng(1)),
+            node_selector=lambda now: "n0",
+            post_fn=lambda node, key: posted.append((sim.now, node, key)),
+            start=start,
+            duration=duration,
+        )
+        workload.begin()
+        sim.run()
+        return workload, posted
+
+    def test_posts_at_expected_times(self):
+        _, posted = self.run_workload([1.0, 2.0, 3.0])
+        assert [t for t, _, __ in posted] == [11.0, 13.0, 16.0]
+
+    def test_respects_end_of_window(self):
+        _, posted = self.run_workload([1.0, 200.0], duration=100.0)
+        assert len(posted) == 1
+
+    def test_stop_halts_posting(self):
+        sim = Simulator()
+        posted = []
+        workload = QueryWorkload(
+            sim=sim,
+            arrivals=DeterministicArrivals([1.0, 1.0, 1.0]),
+            key_selector=UniformKeys(["k"], np.random.default_rng(1)),
+            node_selector=lambda now: "n0",
+            post_fn=lambda node, key: posted.append(sim.now),
+            start=0.0,
+            duration=100.0,
+        )
+        workload.begin()
+        sim.run_until(1.5)
+        workload.stop()
+        sim.run()
+        assert len(posted) == 1
+
+    def test_posted_counter(self):
+        workload, posted = self.run_workload([1.0, 1.0])
+        assert workload.posted == len(posted) == 2
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            self.run_workload([1.0], duration=0.0)
+
+    def test_uniform_node_selector_draws_members(self):
+        rng = np.random.default_rng(1)
+        selector = uniform_node_selector(lambda: ["a", "b", "c"], rng)
+        seen = {selector(0.0) for _ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+    def test_uniform_node_selector_empty_raises(self):
+        selector = uniform_node_selector(lambda: [], np.random.default_rng(1))
+        with pytest.raises(RuntimeError):
+            selector(0.0)
+
+
+class FakeCapacityTarget:
+    def __init__(self):
+        self.calls = []
+
+    def set_capacity(self, node_id, capacity):
+        self.calls.append((node_id, capacity.fraction))
+
+
+class TestCapacityFaults:
+    def make(self, sim, fraction=0.5, reduced=0.25):
+        target = FakeCapacityTarget()
+        schedule = CapacityFaultSchedule(
+            sim, [f"n{i}" for i in range(10)], target.set_capacity,
+            fraction=fraction, reduced=reduced,
+            rng=np.random.default_rng(3),
+        )
+        return target, schedule
+
+    def test_degrade_selects_fraction(self):
+        sim = Simulator()
+        target, schedule = self.make(sim)
+        schedule.degrade()
+        assert len(schedule.currently_degraded) == 5
+        assert all(f == 0.25 for _, f in target.calls)
+
+    def test_restore_returns_to_full(self):
+        sim = Simulator()
+        target, schedule = self.make(sim)
+        schedule.degrade()
+        schedule.restore()
+        assert schedule.currently_degraded == []
+        assert target.calls[-1][1] == 1.0
+
+    def test_up_and_down_episodes(self):
+        sim = Simulator()
+        target, schedule = self.make(sim)
+        up_and_down(schedule, start=0.0, end=3000.0,
+                    warmup=300.0, down_for=600.0, stable_for=300.0)
+        sim.run_until(3000.0)
+        events = [e for _, e in schedule.log]
+        assert events[0].startswith("degrade")
+        assert any(e.startswith("restore") for e in events)
+        assert len([e for e in events if e.startswith("degrade")]) >= 2
+
+    def test_once_down_stays_down(self):
+        sim = Simulator()
+        target, schedule = self.make(sim)
+        once_down_always_down(schedule, start=0.0, warmup=100.0)
+        sim.run_until(5000.0)
+        assert len(schedule.currently_degraded) == 5
+
+    def test_fresh_victims_each_episode(self):
+        sim = Simulator()
+        target, schedule = self.make(sim)
+        schedule.degrade()
+        first = set(schedule.currently_degraded)
+        schedule.degrade()  # implicit restore + new victims
+        second = set(schedule.currently_degraded)
+        assert len(first) == len(second) == 5
+        # (sets may overlap, but the restore happened)
+        restores = [e for _, e in schedule.log if e.startswith("restore")]
+        assert restores
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CapacityFaultSchedule(
+                sim, ["a"], lambda n, c: None, fraction=2.0, reduced=0.5,
+                rng=np.random.default_rng(1),
+            )
+
+
+class FakeChurnTarget:
+    def __init__(self):
+        self.members = [f"n{i}" for i in range(6)]
+        self.events = []
+
+    def join_node(self, node_id):
+        self.members.append(node_id)
+        self.events.append(("join", node_id))
+
+    def leave_node(self, node_id, graceful=True):
+        self.members.remove(node_id)
+        self.events.append(("leave", node_id, graceful))
+
+    def live_node_ids(self):
+        return list(self.members)
+
+
+class TestChurnSchedule:
+    def test_scripted_join_and_leave(self):
+        sim = Simulator()
+        target = FakeChurnTarget()
+        schedule = ChurnSchedule(sim, target)
+        schedule.schedule_join(5.0, "newbie")
+        schedule.schedule_leave(10.0, "n0")
+        sim.run()
+        assert ("join", "newbie") in target.events
+        assert ("leave", "n0", True) in target.events
+
+    def test_leave_of_departed_node_is_noop(self):
+        sim = Simulator()
+        target = FakeChurnTarget()
+        schedule = ChurnSchedule(sim, target)
+        schedule.schedule_leave(1.0, "n0")
+        schedule.schedule_leave(2.0, "n0")
+        sim.run()
+        assert len([e for e in target.events if e[0] == "leave"]) == 1
+
+    def test_poisson_churn_schedules_events(self):
+        sim = Simulator()
+        target = FakeChurnTarget()
+        schedule = ChurnSchedule(sim, target)
+        count = schedule.poisson(
+            rate=0.1, start=0.0, end=500.0, rng=np.random.default_rng(5)
+        )
+        sim.run()
+        assert count > 0
+        assert len(schedule.log) <= count  # some leaves may be no-ops
+
+    def test_poisson_keeps_minimum_network(self):
+        sim = Simulator()
+        target = FakeChurnTarget()
+        schedule = ChurnSchedule(sim, target)
+        schedule.poisson(
+            rate=1.0, start=0.0, end=200.0, rng=np.random.default_rng(5),
+            join_fraction=0.0,  # departures only
+        )
+        sim.run()
+        assert len(target.members) >= 2
+
+    def test_invalid_rate(self):
+        schedule = ChurnSchedule(Simulator(), FakeChurnTarget())
+        with pytest.raises(ValueError):
+            schedule.poisson(0.0, 0.0, 10.0, np.random.default_rng(1))

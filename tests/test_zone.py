@@ -1,0 +1,155 @@
+"""Unit tests for CAN zone geometry."""
+
+import pytest
+
+from repro.overlay.can import Zone
+
+
+def unit_square():
+    return Zone((0.0, 0.0), (1.0, 1.0))
+
+
+class TestZoneBasics:
+    def test_contains_interior_point(self):
+        zone = Zone((0.0, 0.0), (0.5, 0.5))
+        assert zone.contains((0.25, 0.25))
+
+    def test_half_open_boundaries(self):
+        zone = Zone((0.0, 0.0), (0.5, 0.5))
+        assert zone.contains((0.0, 0.0))
+        assert not zone.contains((0.5, 0.25))
+        assert not zone.contains((0.25, 0.5))
+
+    def test_volume(self):
+        assert Zone((0.0, 0.0), (0.5, 0.25)).volume() == pytest.approx(0.125)
+
+    def test_center(self):
+        assert Zone((0.0, 0.0), (0.5, 0.5)).center() == (0.25, 0.25)
+
+    def test_invalid_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Zone((0.5, 0.0), (0.5, 1.0))  # zero width
+        with pytest.raises(ValueError):
+            Zone((0.0,), (1.0, 1.0))  # dim mismatch
+        with pytest.raises(ValueError):
+            Zone((-0.1, 0.0), (1.0, 1.0))  # outside unit cube
+
+    def test_equality_and_hash(self):
+        a = Zone((0.0, 0.0), (0.5, 0.5))
+        b = Zone((0.0, 0.0), (0.5, 0.5))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestSplit:
+    def test_split_halves_longest_dimension(self):
+        zone = Zone((0.0, 0.0), (1.0, 0.5))
+        left, right = zone.split()
+        assert left == Zone((0.0, 0.0), (0.5, 0.5))
+        assert right == Zone((0.5, 0.0), (1.0, 0.5))
+
+    def test_split_explicit_dimension(self):
+        zone = unit_square()
+        bottom, top = zone.split(dim=1)
+        assert bottom == Zone((0.0, 0.0), (1.0, 0.5))
+        assert top == Zone((0.0, 0.5), (1.0, 1.0))
+
+    def test_split_preserves_volume(self):
+        zone = Zone((0.25, 0.0), (0.75, 0.5))
+        a, b = zone.split()
+        assert a.volume() + b.volume() == pytest.approx(zone.volume())
+
+    def test_longest_dim_tie_prefers_lowest(self):
+        assert unit_square().longest_dim() == 0
+
+    def test_repeated_splits_stay_exact(self):
+        zone = unit_square()
+        for _ in range(30):
+            zone, _ = zone.split()
+        # Dyadic boundaries stay exactly representable.
+        dim = zone.longest_dim()
+        a, b = zone.split()
+        assert a.hi[dim] == b.lo[dim]
+        assert a.try_merge(b) == zone
+
+
+class TestDistance:
+    def test_zero_inside(self):
+        assert unit_square().torus_distance((0.3, 0.7)) == 0.0
+
+    def test_axis_distance(self):
+        zone = Zone((0.0, 0.0), (0.25, 1.0))
+        # Point at x=0.5: nearest zone edge at x=0.25 -> distance 0.25.
+        assert zone.torus_distance((0.5, 0.5)) == pytest.approx(0.25 ** 2)
+
+    def test_wraparound_distance(self):
+        zone = Zone((0.0, 0.0), (0.25, 1.0))
+        # Point at x=0.9 is 0.1 away across the seam, not 0.65 away.
+        assert zone.torus_distance((0.9, 0.5)) == pytest.approx(0.1 ** 2)
+
+    def test_diagonal_combines_dimensions(self):
+        zone = Zone((0.0, 0.0), (0.25, 0.25))
+        d = zone.torus_distance((0.5, 0.5))
+        assert d == pytest.approx(0.25 ** 2 + 0.25 ** 2)
+
+
+class TestAbuts:
+    def test_face_adjacency(self):
+        a = Zone((0.0, 0.0), (0.5, 0.5))
+        b = Zone((0.5, 0.0), (1.0, 0.5))
+        assert a.abuts(b) and b.abuts(a)
+
+    def test_corner_contact_is_not_adjacency(self):
+        a = Zone((0.0, 0.0), (0.5, 0.5))
+        b = Zone((0.5, 0.5), (1.0, 1.0))
+        assert not a.abuts(b)
+
+    def test_seam_adjacency(self):
+        a = Zone((0.0, 0.0), (0.25, 1.0))
+        b = Zone((0.75, 0.0), (1.0, 1.0))
+        assert a.abuts(b)  # touching across the 1.0 -> 0.0 seam
+
+    def test_partial_overlap_side(self):
+        a = Zone((0.0, 0.0), (0.5, 0.5))
+        b = Zone((0.5, 0.25), (1.0, 0.75))
+        assert a.abuts(b)
+
+    def test_disjoint_not_adjacent(self):
+        a = Zone((0.0, 0.0), (0.25, 0.25))
+        b = Zone((0.5, 0.5), (0.75, 0.75))
+        assert not a.abuts(b)
+
+    def test_identical_zones_not_adjacent(self):
+        a = unit_square()
+        assert not a.abuts(unit_square())
+
+    def test_full_width_zone_adjacent_vertically(self):
+        a = Zone((0.0, 0.0), (1.0, 0.5))
+        b = Zone((0.0, 0.5), (1.0, 1.0))
+        assert a.abuts(b)
+
+
+class TestMerge:
+    def test_merge_along_x(self):
+        a = Zone((0.0, 0.0), (0.5, 0.5))
+        b = Zone((0.5, 0.0), (1.0, 0.5))
+        assert a.try_merge(b) == Zone((0.0, 0.0), (1.0, 0.5))
+        assert b.try_merge(a) == Zone((0.0, 0.0), (1.0, 0.5))
+
+    def test_merge_requires_identical_other_extents(self):
+        a = Zone((0.0, 0.0), (0.5, 0.5))
+        b = Zone((0.5, 0.0), (1.0, 0.25))
+        assert a.try_merge(b) is None
+
+    def test_merge_requires_abutment(self):
+        a = Zone((0.0, 0.0), (0.25, 0.5))
+        b = Zone((0.5, 0.0), (0.75, 0.5))
+        assert a.try_merge(b) is None
+
+    def test_identical_zones_do_not_merge(self):
+        a = unit_square()
+        assert a.try_merge(unit_square()) is None
+
+    def test_split_then_merge_roundtrip(self):
+        zone = Zone((0.25, 0.25), (0.75, 0.75))
+        a, b = zone.split()
+        assert a.try_merge(b) == zone
