@@ -1,0 +1,36 @@
+"""Root pytest configuration: execution options for the sweep layers.
+
+These options are registered here (the rootdir conftest is always an
+*initial* conftest, so the flags exist no matter which subset of the
+suite is collected) and consumed by ``benchmarks/conftest.py``, which
+wires them into the parallel executor and the persistent run cache.
+"""
+
+import argparse
+
+
+def _positive_int(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}"
+        )
+    return value
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro", "CUP reproduction execution")
+    group.addoption(
+        "--repro-workers", type=_positive_int, default=None, metavar="N",
+        help="worker processes for independent sweep cells "
+             "(default: $REPRO_WORKERS or 1 = serial)",
+    )
+    group.addoption(
+        "--repro-no-cache", action="store_true", default=False,
+        help="disable the persistent run cache for benchmark runs",
+    )
+    group.addoption(
+        "--repro-cache-dir", default=None, metavar="DIR",
+        help="run-cache directory (default: $REPRO_CACHE_DIR or "
+             ".repro-cache)",
+    )

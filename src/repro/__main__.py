@@ -1,7 +1,13 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__name__`` guard matters under ``--workers`` on spawn-based
+multiprocessing platforms, where worker bootstrap imports the main
+module: the CLI must only run in the parent process.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

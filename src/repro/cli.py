@@ -4,11 +4,17 @@ Usage::
 
     python -m repro list
     python -m repro run fig3 [--scale small|paper|tiny] [--seed N]
-    python -m repro run all --scale small
+    python -m repro run all --scale small --workers 4
     python -m repro quickstart
 
 Each experiment prints its table (mirroring the paper's layout) followed
 by a PASS/FAIL checklist of the paper's qualitative shape claims.
+
+Sweep cells are independent simulations: ``--workers N`` fans them out
+across N processes, and finished cells persist in an on-disk run cache
+(``--cache-dir``, default ``.repro-cache/``) so repeated invocations —
+and interrupted sweeps — only pay for cells they have not seen.
+``--no-cache`` forces fresh runs.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import sys
 import time
 from typing import Callable, Dict
 
+from repro.experiments import executor, runcache
 from repro.experiments.base import ExperimentResult
 from repro.experiments.capacity import run_capacity
 from repro.experiments.config import resolve_scale
@@ -89,6 +96,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"choose from: {', '.join(EXPERIMENTS)} or 'all'", file=sys.stderr)
         return 2
     scale = resolve_scale(args.scale)
+    if args.workers is not None:
+        executor.configure(workers=args.workers)
+    if args.no_cache:
+        cache = runcache.configure(enabled=False)
+    elif args.cache_dir is not None:
+        cache = runcache.configure(cache_dir=args.cache_dir)
+    else:
+        runcache.reset()
+        cache = runcache.active()  # honors $REPRO_NO_CACHE / $REPRO_CACHE_DIR
     status = 0
     for name in names:
         _, runner = EXPERIMENTS[name]
@@ -99,6 +115,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"({name} completed in {elapsed:.1f}s at scale={scale.name})\n")
         if not result.all_expectations_hold():
             status = 1
+    if cache is not None:
+        print(
+            f"run cache: {cache.stats} under "
+            f"{cache.root}/{cache.fingerprint} "
+            f"(workers={executor.default_workers()})"
+        )
     return status
 
 
@@ -125,6 +147,15 @@ def _cmd_quickstart(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -144,6 +175,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="parameter preset (default: $REPRO_SCALE or 'small')",
     )
     run_parser.add_argument("--seed", type=int, default=42)
+    run_parser.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="worker processes for independent sweep cells "
+             "(default: $REPRO_WORKERS or 1 = serial)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent run cache (always re-simulate)",
+    )
+    run_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="run-cache directory (default: $REPRO_CACHE_DIR or "
+             ".repro-cache)",
+    )
     run_parser.set_defaults(fn=_cmd_run)
 
     quick_parser = sub.add_parser(

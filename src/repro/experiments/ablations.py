@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import Scale, resolve_scale
-from repro.experiments.runner import run_config
+from repro.experiments.executor import execute
 from repro.metrics.collector import MetricsSummary
 from repro.metrics.report import Table
 
@@ -50,7 +50,8 @@ class AblationResult(ExperimentResult):
 
 
 def run_coalescing_ablation(
-    scale: Optional[Scale] = None, paper_rate: float = 10.0, seed: int = 42
+    scale: Optional[Scale] = None, paper_rate: float = 10.0, seed: int = 42,
+    workers: Optional[int] = None,
 ) -> AblationResult:
     """Standard vs standard+coalescing vs CUP at one operating point."""
     scale = scale or resolve_scale()
@@ -66,10 +67,8 @@ def run_coalescing_ablation(
         "standard + coalescing": base.variant(mode="standard-coalescing"),
         "full CUP (second-chance)": base,
     }
-    summaries: Dict[str, MetricsSummary] = {}
-    for label, config in variants.items():
-        summary = run_config(config)
-        summaries[label] = summary
+    summaries: Dict[str, MetricsSummary] = execute(variants, workers=workers)
+    for label, summary in summaries.items():
         result.add_row(
             label, summary.miss_cost, summary.overhead_cost,
             summary.total_cost, summary.misses, summary.coalesced_queries,
@@ -93,7 +92,8 @@ def run_coalescing_ablation(
 
 
 def run_overlay_ablation(
-    scale: Optional[Scale] = None, paper_rate: float = 1.0, seed: int = 42
+    scale: Optional[Scale] = None, paper_rate: float = 1.0, seed: int = 42,
+    workers: Optional[int] = None,
 ) -> AblationResult:
     """CUP over CAN vs over Chord: substrate-agnosticism check."""
     scale = scale or resolve_scale()
@@ -104,10 +104,18 @@ def run_overlay_ablation(
         ["overlay", "CUP miss", "STD miss", "miss ratio",
          "CUP latency", "STD latency"],
     )
+    overlays = ("can", "chord", "pastry")
+    cells = {}
+    for overlay in overlays:
+        cells[("cup", overlay)] = base.variant(overlay_type=overlay)
+        cells[("std", overlay)] = base.variant(
+            overlay_type=overlay, mode="standard"
+        )
+    summaries = execute(cells, workers=workers)
     ratios = {}
-    for overlay in ("can", "chord", "pastry"):
-        cup = run_config(base.variant(overlay_type=overlay))
-        std = run_config(base.variant(overlay_type=overlay, mode="standard"))
+    for overlay in overlays:
+        cup = summaries[("cup", overlay)]
+        std = summaries[("std", overlay)]
         ratio = cup.miss_cost / max(std.miss_cost, 1)
         ratios[overlay] = ratio
         result.add_row(
@@ -121,16 +129,23 @@ def run_overlay_ablation(
 
 
 def run_capacity_mechanism_ablation(
-    scale: Optional[Scale] = None, paper_rate: float = 10.0, seed: int = 42
+    scale: Optional[Scale] = None, paper_rate: float = 10.0, seed: int = 42,
+    workers: Optional[int] = None,
 ) -> AblationResult:
     """Fractional forwarding (§3.7) vs the rate pump (§2.8)."""
     scale = scale or resolve_scale()
     base = scale.config(seed=seed, query_rate=scale.rate(paper_rate))
-    full = run_config(base)
-    # A rate low enough to bite: roughly one update per entry lifetime
-    # per channel at the subscribed-tree sizes these runs produce.
-    rate_limited = run_config(base.variant(capacity_rate=2.0))
-    fractional = run_config(base.variant(capacity_fraction=0.5))
+    summaries = execute({
+        "full": base,
+        # A rate low enough to bite: roughly one update per entry
+        # lifetime per channel at the subscribed-tree sizes these runs
+        # produce.
+        "rate": base.variant(capacity_rate=2.0),
+        "fractional": base.variant(capacity_fraction=0.5),
+    }, workers=workers)
+    full = summaries["full"]
+    rate_limited = summaries["rate"]
+    fractional = summaries["fractional"]
     result = AblationResult(
         f"Ablation: capacity mechanism (n={base.num_nodes}, "
         f"paper-λ={paper_rate:g}, scale={scale.name})",
@@ -166,6 +181,7 @@ def run_aggregation_ablation(
     paper_rate: float = 1.0,
     replicas: int = 10,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> AblationResult:
     """§3.6's authority-side overhead-reduction techniques.
 
@@ -202,10 +218,10 @@ def run_aggregation_ablation(
         ("sample 20% of refreshes",
          base.variant(refresh_sample_fraction=0.2)),
     ]
-    summaries: Dict[str, MetricsSummary] = {}
-    for label, config in variants:
-        summary = run_config(config)
-        summaries[label] = summary
+    summaries: Dict[str, MetricsSummary] = execute(
+        dict(variants), workers=workers
+    )
+    for label, summary in summaries.items():
         result.add_row(
             label, summary.miss_cost, summary.overhead_cost,
             summary.total_cost, summary.misses,
@@ -239,6 +255,7 @@ def run_zipf_ablation(
     total_keys: int = 16,
     exponents: Sequence[float] = (0.0, 0.8, 1.4),
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> AblationResult:
     """CUP-vs-standard economics under key-popularity skew.
 
@@ -258,19 +275,22 @@ def run_zipf_ablation(
         f"n={base.num_nodes}, paper-λ={paper_rate:g}, scale={scale.name})",
         ["Zipf s", "CUP total", "STD total", "total ratio", "miss ratio"],
     )
+    cells = {}
+    for s in exponents:
+        distribution = "uniform" if s == 0.0 else "zipf"
+        cells[("cup", s)] = base.variant(
+            key_distribution=distribution, zipf_s=s
+        )
+        cells[("std", s)] = base.variant(
+            key_distribution=distribution, zipf_s=s, mode="standard"
+        )
+    summaries = execute(cells, workers=workers)
     ratios = []
     cup_totals = []
     std_totals = []
     for s in exponents:
-        distribution = "uniform" if s == 0.0 else "zipf"
-        cup = run_config(
-            base.variant(key_distribution=distribution, zipf_s=s)
-        )
-        std = run_config(
-            base.variant(
-                key_distribution=distribution, zipf_s=s, mode="standard"
-            )
-        )
+        cup = summaries[("cup", s)]
+        std = summaries[("std", s)]
         total_ratio = cup.total_cost / max(std.total_cost, 1)
         miss_ratio = cup.miss_cost / max(std.miss_cost, 1)
         ratios.append(total_ratio)

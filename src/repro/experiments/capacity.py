@@ -20,19 +20,19 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.protocol import CupConfig, CupNetwork
+from repro.core.protocol import CupConfig
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import Scale, resolve_scale
-from repro.experiments.runner import run_config
+from repro.experiments.executor import (
+    FAULT_CONFIGURATIONS,
+    Cell,
+    FaultSpec,
+    execute,
+)
 from repro.metrics.collector import MetricsSummary
 from repro.metrics.report import Table
-from repro.workload.faults import (
-    CapacityFaultSchedule,
-    once_down_always_down,
-    up_and_down,
-)
 
-CONFIGURATIONS = ("up-and-down", "once-down-always-down")
+CONFIGURATIONS = FAULT_CONFIGURATIONS
 
 
 def run_with_faults(
@@ -44,32 +44,20 @@ def run_with_faults(
     down_for: float = 600.0,
     stable_for: float = 300.0,
 ) -> MetricsSummary:
-    """One CUP run with a §3.7 capacity fault schedule attached."""
-    if configuration not in CONFIGURATIONS:
-        raise ValueError(f"unknown configuration: {configuration!r}")
-    net = CupNetwork(config)
-    schedule = CapacityFaultSchedule(
-        net.sim,
-        list(net.nodes),
-        net.set_node_capacity,
-        fraction=fraction,
+    """One CUP run with a §3.7 capacity fault schedule attached.
+
+    Thin wrapper over the executor's declarative fault cells; results
+    share the run caches with the sweep harnesses.
+    """
+    spec = FaultSpec(
+        configuration=configuration,
         reduced=reduced,
-        rng=net.streams.get("faults"),
+        fraction=fraction,
+        warmup=warmup,
+        down_for=down_for,
+        stable_for=stable_for,
     )
-    if configuration == "up-and-down":
-        up_and_down(
-            schedule,
-            start=config.query_start,
-            end=config.query_end,
-            warmup=warmup,
-            down_for=down_for,
-            stable_for=stable_for,
-        )
-    else:
-        once_down_always_down(
-            schedule, start=config.query_start, warmup=warmup
-        )
-    return net.run()
+    return execute([Cell("faulted", config, spec)])["faulted"]
 
 
 class CapacityResult(ExperimentResult):
@@ -108,6 +96,7 @@ def run_capacity(
     fraction: float = 0.2,
     seed: int = 42,
     log_scale_figure: bool = False,
+    workers: Optional[int] = None,
 ) -> CapacityResult:
     """Reproduce Figure 5 (λ=1) or Figure 6 (λ=1000, log y-axis)."""
     scale = scale or resolve_scale()
@@ -122,22 +111,36 @@ def run_capacity(
         f"(n={base.num_nodes}, paper-λ={paper_rate:g}, "
         f"{fraction:.0%} of nodes, scale={scale.name})"
     )
-    result.std_total = run_config(base.variant(mode="standard")).total_cost
-    result.full_capacity_total = run_config(base).total_cost
+
+    cells = [
+        Cell("std", base.variant(mode="standard")),
+        Cell("full", base),
+    ]
+    for name in CONFIGURATIONS:
+        cells.extend(
+            Cell(
+                (name, c),
+                base,
+                FaultSpec(
+                    configuration=name,
+                    reduced=c,
+                    fraction=fraction,
+                    warmup=300.0 * time_factor,
+                    down_for=600.0 * time_factor,
+                    stable_for=300.0 * time_factor,
+                ),
+            )
+            for c in capacities
+        )
+    summaries = execute(cells, workers=workers)
+    result.std_total = summaries["std"].total_cost
+    result.full_capacity_total = summaries["full"].total_cost
 
     for name in CONFIGURATIONS:
         totals: List[int] = []
         misses: List[int] = []
         for c in capacities:
-            summary = run_with_faults(
-                base,
-                configuration=name,
-                reduced=c,
-                fraction=fraction,
-                warmup=300.0 * time_factor,
-                down_for=600.0 * time_factor,
-                stable_for=300.0 * time_factor,
-            )
+            summary = summaries[(name, c)]
             totals.append(summary.total_cost)
             misses.append(summary.miss_cost)
         result.series[name] = {"total": totals, "miss": misses}

@@ -28,8 +28,8 @@ from repro.core.policies import (
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.config import Scale, resolve_scale
+from repro.experiments.executor import Cell, execute
 from repro.experiments.push_level import default_levels, run_push_level
-from repro.experiments.runner import run_config
 from repro.metrics.report import Table, format_ratio
 
 
@@ -93,6 +93,7 @@ def run_cutoff_policies(
     paper_rates: Sequence[float] = (1.0, 10.0, 100.0, 1000.0),
     policies: Optional[List[CutoffPolicy]] = None,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> CutoffPolicyResult:
     """Reproduce Table 1."""
     scale = scale or resolve_scale()
@@ -109,18 +110,33 @@ def run_cutoff_policies(
     # reports the best level found by sweeping).
     level_grid = default_levels(base.num_nodes)[::2]
 
+    cells = []
     for paper_rate in rates:
         rate = scale.rate(paper_rate)
-        std = run_config(base.variant(mode="standard", query_rate=rate))
+        cells.append(Cell(
+            ("standard caching", paper_rate),
+            base.variant(mode="standard", query_rate=rate),
+        ))
+        cells.extend(
+            Cell(
+                (policy.name, paper_rate),
+                base.variant(policy=policy, query_rate=rate),
+            )
+            for policy in policies
+        )
+    summaries = execute(cells, workers=workers)
+    # One batch for every rate's level sweep (max-of-cells wall-clock).
+    push = run_push_level(
+        scale, paper_rates=rates, levels=level_grid, seed=seed,
+        workers=workers,
+    )
+
+    for paper_rate in rates:
+        std = summaries[("standard caching", paper_rate)]
         result.add("standard caching", paper_rate, std.total_cost)
         for policy in policies:
-            summary = run_config(
-                base.variant(policy=policy, query_rate=rate)
-            )
+            summary = summaries[(policy.name, paper_rate)]
             result.add(policy.name, paper_rate, summary.total_cost)
-        push = run_push_level(
-            scale, paper_rates=[paper_rate], levels=level_grid, seed=seed
-        )
         result.add(
             "optimal push level", paper_rate, push.optimal_total(paper_rate)
         )

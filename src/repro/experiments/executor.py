@@ -1,0 +1,245 @@
+"""Parallel execution of independent simulation cells.
+
+The paper's figures and tables are sweeps of *independent* cells — one
+simulation per (push level, capacity, network size, policy, …) point —
+so the sweep is embarrassingly parallel.  Harnesses declare their cells
+(:class:`Cell`: a label, a :class:`CupConfig`, and optionally a
+declarative §3.7 fault schedule) and submit them in one batch to
+:func:`execute`, which:
+
+1. deduplicates cells that resolve to the same run key (shared
+   standard-caching twins are computed once, not once per worker);
+2. serves whatever it can from the in-process memo and the persistent
+   disk cache (:mod:`repro.experiments.runcache`);
+3. fans the remaining cells out across a ``multiprocessing`` pool
+   (``workers=1`` falls back to a plain serial loop in-process);
+4. stores every fresh result back into both cache layers;
+5. returns ``{label: MetricsSummary}`` with deterministic content —
+   results are keyed, so worker scheduling order can never leak into
+   tables.
+
+Worker-count resolution: explicit ``workers=`` argument >
+:func:`configure` (the CLI's ``--workers``) > ``$REPRO_WORKERS`` > 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.protocol import CupConfig, CupNetwork
+from repro.experiments import runcache
+from repro.experiments.runner import _cache_key, memo_get, memo_put
+from repro.metrics.collector import MetricsSummary
+from repro.workload.faults import (
+    CapacityFaultSchedule,
+    once_down_always_down,
+    up_and_down,
+)
+
+WORKERS_ENV = "REPRO_WORKERS"
+
+FAULT_CONFIGURATIONS = ("up-and-down", "once-down-always-down")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """Declarative §3.7 capacity-fault schedule attached to a cell.
+
+    Mirrors the arguments of the capacity harness: ``fraction`` of nodes
+    drop to ``reduced`` outgoing capacity after ``warmup`` seconds of
+    query traffic — repeatedly (*up-and-down*, alternating ``down_for``
+    and ``stable_for``) or permanently (*once-down-always-down*).
+    """
+
+    configuration: str
+    reduced: float
+    fraction: float = 0.2
+    warmup: float = 300.0
+    down_for: float = 600.0
+    stable_for: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.configuration not in FAULT_CONFIGURATIONS:
+            raise ValueError(
+                f"unknown configuration: {self.configuration!r}; choose "
+                f"from {FAULT_CONFIGURATIONS}"
+            )
+
+    def key(self) -> tuple:
+        return (
+            self.configuration, self.reduced, self.fraction,
+            self.warmup, self.down_for, self.stable_for,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One independent simulation in a sweep."""
+
+    label: Hashable
+    config: CupConfig
+    faults: Optional[FaultSpec] = None
+
+
+def cell_key(cell: Cell) -> tuple:
+    """Flat cache key identifying the cell's result across processes."""
+    key = _cache_key(cell.config)
+    if cell.faults is not None:
+        key = key + ("faults",) + cell.faults.key()
+    return key
+
+
+def run_cell(cell: Cell) -> MetricsSummary:
+    """Execute one cell from scratch, bypassing every cache layer."""
+    if cell.faults is None:
+        return CupNetwork(cell.config).run()
+    spec = cell.faults
+    config = cell.config
+    net = CupNetwork(config)
+    schedule = CapacityFaultSchedule(
+        net.sim,
+        list(net.nodes),
+        net.set_node_capacity,
+        fraction=spec.fraction,
+        reduced=spec.reduced,
+        rng=net.streams.get("faults"),
+    )
+    if spec.configuration == "up-and-down":
+        up_and_down(
+            schedule,
+            start=config.query_start,
+            end=config.query_end,
+            warmup=spec.warmup,
+            down_for=spec.down_for,
+            stable_for=spec.stable_for,
+        )
+    else:
+        once_down_always_down(
+            schedule, start=config.query_start, warmup=spec.warmup
+        )
+    return net.run()
+
+
+# ----------------------------------------------------------------------
+# Worker-count configuration
+# ----------------------------------------------------------------------
+
+_workers: Optional[int] = None
+
+
+def configure(workers: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` re-reads env)."""
+    global _workers
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    _workers = workers
+
+
+def default_workers() -> int:
+    """Configured worker count > ``$REPRO_WORKERS`` > 1 (serial)."""
+    if _workers is not None:
+        return _workers
+    try:
+        return max(1, int(os.environ.get(WORKERS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+# ----------------------------------------------------------------------
+# Batch execution
+# ----------------------------------------------------------------------
+
+CellsInput = Union[Iterable[Cell], Mapping[Hashable, CupConfig]]
+
+
+def _normalize(cells: CellsInput) -> List[Cell]:
+    if isinstance(cells, Mapping):
+        normalized = [
+            Cell(label, config) for label, config in cells.items()
+        ]
+    else:
+        normalized = list(cells)
+    labels = [cell.label for cell in normalized]
+    if len(set(labels)) != len(labels):
+        raise ValueError("duplicate cell labels in batch")
+    return normalized
+
+
+def _run_keyed(item: Tuple[tuple, Cell]) -> Tuple[tuple, MetricsSummary]:
+    key, cell = item
+    return key, run_cell(cell)
+
+
+def execute(
+    cells: CellsInput,
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+) -> Dict[Hashable, MetricsSummary]:
+    """Run a batch of cells, returning ``{label: summary}``.
+
+    ``cells`` is a sequence of :class:`Cell` or a ``{label: CupConfig}``
+    mapping.  Labels must be unique; cells whose *run key* coincides are
+    computed once and share the result object.  The returned dict
+    preserves the submission order of its labels.
+    """
+    batch = _normalize(cells)
+    keys = {cell.label: cell_key(cell) for cell in batch}
+    disk = runcache.active() if use_cache else None
+
+    resolved: Dict[tuple, MetricsSummary] = {}
+    pending: Dict[tuple, Cell] = {}
+    for cell in batch:
+        key = keys[cell.label]
+        if key in resolved or key in pending:
+            continue
+        if use_cache:
+            memo = memo_get(key)
+            if memo is not None:
+                resolved[key] = memo
+                continue
+            if disk is not None:
+                stored = disk.get(key)
+                if stored is not None:
+                    resolved[key] = stored
+                    memo_put(key, stored)
+                    continue
+        pending[key] = cell
+
+    if pending:
+        count = default_workers() if workers is None else max(1, workers)
+        items = list(pending.items())
+
+        def settle(key: tuple, summary: MetricsSummary) -> None:
+            # Persist each cell as it completes, not when the batch
+            # ends: an interrupted sweep keeps every finished cell.
+            resolved[key] = summary
+            if use_cache:
+                memo_put(key, summary)
+                if disk is not None:
+                    disk.put(key, summary)
+
+        if count > 1 and len(items) > 1:
+            with multiprocessing.get_context().Pool(
+                processes=min(count, len(items))
+            ) as pool:
+                for key, summary in pool.imap_unordered(
+                    _run_keyed, items, chunksize=1
+                ):
+                    settle(key, summary)
+        else:
+            for item in items:
+                settle(*_run_keyed(item))
+
+    return {cell.label: resolved[keys[cell.label]] for cell in batch}

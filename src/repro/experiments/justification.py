@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 from repro.core.costmodel import justification_probability
 from repro.experiments.base import ExperimentResult, monotone_nondecreasing
 from repro.experiments.config import Scale, resolve_scale
-from repro.experiments.runner import run_pair
+from repro.experiments.executor import Cell, execute
 from repro.metrics.report import Table
 
 
@@ -66,6 +66,7 @@ def run_justification(
     scale: Optional[Scale] = None,
     paper_rates: Sequence[float] = (0.1, 1.0, 10.0, 100.0),
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> JustificationResult:
     """Measure §3.1's update economics across query rates."""
     scale = scale or resolve_scale()
@@ -75,9 +76,17 @@ def run_justification(
         f"§3.1 economics: justified updates vs query rate "
         f"(n={scale.num_nodes}, second-chance, scale={scale.name})"
     )
+    cells = []
     for paper_rate in rates:
         config = scale.config(seed=seed, query_rate=scale.rate(paper_rate))
-        cup, std = run_pair(config)
+        cells.append(Cell(("cup", paper_rate), config))
+        cells.append(Cell(
+            ("std", paper_rate), config.variant(mode="standard")
+        ))
+    summaries = execute(cells, workers=workers)
+    for paper_rate in rates:
+        cup = summaries[("cup", paper_rate)]
+        std = summaries[("std", paper_rate)]
         analytical = justification_probability(
             scale.rate(paper_rate), scale.entry_lifetime
         )

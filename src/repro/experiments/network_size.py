@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.base import ExperimentResult, monotone_nondecreasing
 from repro.experiments.config import Scale, resolve_scale
-from repro.experiments.runner import run_pair
+from repro.experiments.executor import Cell, execute
 from repro.metrics.report import Table, format_float
 
 
@@ -84,6 +84,7 @@ def run_network_size(
     paper_rate: float = 1.0,
     high_rate: Optional[float] = 100.0,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> NetworkSizeResult:
     """Reproduce Table 2 plus the §3.5 high-rate comparison point.
 
@@ -102,12 +103,28 @@ def run_network_size(
         f"(paper-λ={paper_rate:g}, scale={scale.name})"
     )
 
+    with_high_rate = high_rate is not None and high_rate <= scale.max_rate
+    cells = []
     for k in exponents:
         n = 2 ** k
         config = scale.config(
             seed=seed, num_nodes=n, query_rate=scale.rate(paper_rate)
         )
-        cup, std = run_pair(config)
+        cells.append(Cell(("cup", k), config))
+        cells.append(Cell(("std", k), config.variant(mode="standard")))
+    if with_high_rate:
+        config = scale.config(
+            seed=seed,
+            num_nodes=2 ** exponents[-1],
+            query_rate=scale.rate(high_rate),
+        )
+        cells.append(Cell(("cup", "high"), config))
+        cells.append(Cell(("std", "high"), config.variant(mode="standard")))
+    summaries = execute(cells, workers=workers)
+
+    for k in exponents:
+        n = 2 ** k
+        cup, std = summaries[("cup", k)], summaries[("std", k)]
         result.add_size(
             n,
             miss_ratio=cup.miss_cost / max(std.miss_cost, 1),
@@ -116,12 +133,9 @@ def run_network_size(
             saved_per_overhead=cup.saved_miss_ratio(std),
         )
 
-    if high_rate is not None and high_rate <= scale.max_rate:
+    if with_high_rate:
         n = 2 ** exponents[-1]
-        config = scale.config(
-            seed=seed, num_nodes=n, query_rate=scale.rate(high_rate)
-        )
-        cup, std = run_pair(config)
+        cup, std = summaries[("cup", "high")], summaries[("std", "high")]
         result.high_rate_point = {
             "n": float(n),
             "rate": high_rate,

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.policies import AllOutPolicy
 from repro.experiments.base import ExperimentResult, monotone_nonincreasing
 from repro.experiments.config import Scale, resolve_scale
-from repro.experiments.runner import run_config
+from repro.experiments.executor import Cell, execute
 from repro.metrics.report import Table
 
 
@@ -81,6 +81,7 @@ def run_push_level(
     levels: Optional[List[int]] = None,
     seed: int = 42,
     log_scale_figure: bool = False,
+    workers: Optional[int] = None,
 ) -> PushLevelResult:
     """Reproduce Figure 3 (default rates) or Figure 4 (rates 100, 1000).
 
@@ -97,19 +98,31 @@ def run_push_level(
         f"(n={base.num_nodes}, scale={scale.name})"
     )
 
-    for paper_rate in paper_rates:
-        if paper_rate > scale.max_rate:
-            continue
+    active_rates = [r for r in paper_rates if r <= scale.max_rate]
+    cells = []
+    for paper_rate in active_rates:
         rate = scale.rate(paper_rate)
-        std = run_config(base.variant(mode="standard", query_rate=rate))
+        cells.append(Cell(
+            ("std", paper_rate),
+            base.variant(mode="standard", query_rate=rate),
+        ))
+        cells.extend(
+            Cell(
+                (paper_rate, level),
+                base.variant(
+                    policy=AllOutPolicy(push_level=level), query_rate=rate
+                ),
+            )
+            for level in levels
+        )
+    summaries = execute(cells, workers=workers)
+
+    for paper_rate in active_rates:
+        std = summaries[("std", paper_rate)]
         totals: List[int] = []
         misses: List[int] = []
         for level in levels:
-            summary = run_config(
-                base.variant(
-                    policy=AllOutPolicy(push_level=level), query_rate=rate
-                )
-            )
+            summary = summaries[(paper_rate, level)]
             totals.append(summary.total_cost)
             misses.append(summary.miss_cost)
         result.add_rate(paper_rate, totals, misses, std.total_cost)

@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 
 from repro.experiments.base import ExperimentResult, monotone_nondecreasing
 from repro.experiments.config import Scale, resolve_scale
-from repro.experiments.runner import run_config
+from repro.experiments.executor import Cell, execute
 from repro.metrics.report import Table
 
 
@@ -77,6 +77,7 @@ def run_replicas_sweep(
     replica_counts: Sequence[int] = (1, 2, 5, 10, 50, 100),
     paper_rate: float = 1.0,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> ReplicasResult:
     """Reproduce Table 3 (descending rows in the paper; ascending here)."""
     scale = scale or resolve_scale()
@@ -86,19 +87,27 @@ def run_replicas_sweep(
         f"Table 3: miss cost & misses vs replicas per key "
         f"(n={base.num_nodes}, paper-λ={paper_rate:g}, scale={scale.name})"
     )
-    result.std_total = run_config(base.variant(mode="standard")).total_cost
 
+    cells = [Cell("std", base.variant(mode="standard"))]
     for replicas in replica_counts:
-        naive = run_config(
+        cells.append(Cell(
+            ("naive", replicas),
             base.variant(
                 replicas_per_key=replicas, replica_independent_cutoff=False
-            )
-        )
-        indep = run_config(
+            ),
+        ))
+        cells.append(Cell(
+            ("indep", replicas),
             base.variant(
                 replicas_per_key=replicas, replica_independent_cutoff=True
-            )
-        )
+            ),
+        ))
+    summaries = execute(cells, workers=workers)
+    result.std_total = summaries["std"].total_cost
+
+    for replicas in replica_counts:
+        naive = summaries[("naive", replicas)]
+        indep = summaries[("indep", replicas)]
         result.add(
             replicas,
             naive.miss_cost, naive.misses,

@@ -1,17 +1,20 @@
 """Shared execution helpers for the experiment harnesses.
 
 Runs are deterministic functions of their :class:`CupConfig`, so results
-are memoized per process: several experiments share their
-standard-caching baselines (e.g. Table 1 normalizes every policy row by
-the same baseline run), and the benchmark suite re-invokes harnesses.
+are cached at two layers: a per-process memo (several experiments share
+their standard-caching baselines — e.g. Table 1 normalizes every policy
+row by the same baseline run — and the benchmark suite re-invokes
+harnesses) and the persistent on-disk cache of
+:mod:`repro.experiments.runcache`, which survives across processes and
+is shared with the parallel executor.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.policies import CutoffPolicy
-from repro.core.protocol import CupConfig, CupNetwork
+from repro.core.protocol import CupConfig
 from repro.metrics.collector import MetricsSummary
 
 _CACHE: Dict[tuple, MetricsSummary] = {}
@@ -24,8 +27,10 @@ def _cache_key(config: CupConfig) -> tuple:
         config.num_nodes, config.overlay_type, config.can_dims,
         config.link_delay, config.link_delay_jitter,
         config.mode, policy_key, config.replica_independent_cutoff,
+        config.track_justification,
         config.capacity_fraction, config.capacity_rate, config.pfu_timeout,
         config.refresh_aggregation_window, config.refresh_sample_fraction,
+        config.priority_profile,
         config.resolved_total_keys(), config.replicas_per_key,
         config.entry_lifetime, config.stagger_replicas,
         config.query_rate, config.key_distribution, config.zipf_s,
@@ -34,17 +39,27 @@ def _cache_key(config: CupConfig) -> tuple:
     )
 
 
+def memo_get(key: tuple) -> Optional[MetricsSummary]:
+    """In-process memo lookup (the executor shares this layer)."""
+    return _CACHE.get(key)
+
+
+def memo_put(key: tuple, summary: MetricsSummary) -> None:
+    """Record a finished run in the in-process memo."""
+    _CACHE[key] = summary
+
+
 def run_config(config: CupConfig, use_cache: bool = True) -> MetricsSummary:
-    """Build the network for ``config``, run it, return the summary."""
-    key = _cache_key(config)
-    if use_cache:
-        cached = _CACHE.get(key)
-        if cached is not None:
-            return cached
-    summary = CupNetwork(config).run()
-    if use_cache:
-        _CACHE[key] = summary
-    return summary
+    """Build the network for ``config``, run it, return the summary.
+
+    Lookup order: per-process memo, then the persistent disk cache (when
+    one is active), then an actual simulation run — whose result feeds
+    both layers.  A single-cell batch through the executor: one code
+    path owns the cache layering.
+    """
+    from repro.experiments.executor import Cell, execute
+
+    return execute([Cell("run", config)], use_cache=use_cache)["run"]
 
 
 def run_pair(config: CupConfig) -> Tuple[MetricsSummary, MetricsSummary]:
@@ -53,10 +68,19 @@ def run_pair(config: CupConfig) -> Tuple[MetricsSummary, MetricsSummary]:
     The twin differs only in ``mode`` — seeds and therefore the full
     arrival/key/node sequence are identical, which is what makes the
     paper's normalized comparisons meaningful.
+
+    Both cells go through the executor as one batch, so with workers
+    configured they run concurrently, and the twin — which many
+    experiments share — is deduplicated against every cache layer
+    rather than recomputed per call (or per worker).
     """
-    cup = run_config(config)
-    std = run_config(config.variant(mode="standard"))
-    return cup, std
+    from repro.experiments.executor import Cell, execute
+
+    results = execute([
+        Cell("cup", config),
+        Cell("std", config.variant(mode="standard")),
+    ])
+    return results["cup"], results["std"]
 
 
 def clear_cache() -> None:

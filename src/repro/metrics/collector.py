@@ -179,6 +179,28 @@ class MetricsSummary:
     updates_dropped_expired: int
     mean_answer_delay: float
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form, suitable for ``json.dumps``."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MetricsSummary":
+        """Inverse of :meth:`to_dict`.
+
+        Strict: unknown or missing fields raise ``ValueError`` so a
+        stale on-disk record (schema drift) reads as a cache miss
+        rather than a silently wrong summary.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        if set(payload) != names:
+            unknown = sorted(set(payload) - names)
+            missing = sorted(names - set(payload))
+            raise ValueError(
+                f"summary payload mismatch: unknown={unknown} "
+                f"missing={missing}"
+            )
+        return cls(**payload)
+
     def saved_miss_ratio(self, baseline: "MetricsSummary") -> float:
         """Saved miss hops per overhead hop, against a baseline run (§3.5).
 

@@ -34,4 +34,5 @@ __all__ = [
     "Timer",
     "TraceRecord",
     "Tracer",
+    "Transport",
 ]

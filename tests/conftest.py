@@ -1,8 +1,23 @@
-"""Pytest configuration: make tests/ importable as a module directory."""
+"""Pytest configuration: make tests/ importable as a module directory,
+and keep unit tests hermetic with respect to the persistent run cache
+(benchmarks opt in via their own conftest; tests that exercise the cache
+explicitly configure a temporary one)."""
 
 import sys
 from pathlib import Path
 
+import pytest
+
 TESTS_DIR = Path(__file__).parent
 if str(TESTS_DIR) not in sys.path:
     sys.path.insert(0, str(TESTS_DIR))
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_run_cache():
+    from repro.experiments import runcache
+
+    saved = runcache.snapshot()
+    runcache.configure(enabled=False)
+    yield
+    runcache.restore(saved)

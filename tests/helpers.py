@@ -8,7 +8,7 @@ CUP-tree positions (depths, parents) literal in the test body.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.channels import CapacityConfig
 from repro.core.node import CupNode

@@ -1,7 +1,5 @@
 """Tests for the ablation harnesses at tiny scale."""
 
-import pytest
-
 from repro.experiments.ablations import (
     AblationResult,
     run_aggregation_ablation,

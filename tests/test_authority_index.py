@@ -1,7 +1,5 @@
 """Unit tests for the authority node's local index directory."""
 
-import pytest
-
 from repro.core.messages import ReplicaEvent, ReplicaMessage, UpdateType
 from repro.replicas.authority import AuthorityIndex
 
