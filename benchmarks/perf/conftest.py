@@ -1,0 +1,69 @@
+"""Perf-suite plumbing: the ``BENCH_perf.json`` publisher.
+
+Unlike the paper-table benchmarks (which publish rendered tables), the
+perf suite publishes *throughput numbers* — events/sec and wall seconds
+per layer — so that every future PR is accountable to a machine-readable
+performance trajectory.  Each test records one or more measurements via
+the ``perf_publish`` fixture; at session end the accumulated record is
+written to ``benchmarks/results/BENCH_perf.json``.
+
+Measurement discipline lives in :mod:`perfutil` (one untimed warmup,
+best of ``PERF_ROUNDS`` timed rounds).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+PERF_DIR = Path(__file__).resolve().parent
+if str(PERF_DIR) not in sys.path:
+    sys.path.insert(0, str(PERF_DIR))
+
+from perfutil import PERF_ROUNDS  # noqa: E402
+
+RESULTS_DIR = PERF_DIR.parent / "results"
+PERF_RECORD = RESULTS_DIR / "BENCH_perf.json"
+
+
+@pytest.fixture(scope="session")
+def perf_record():
+    """Session-wide accumulator, flushed to BENCH_perf.json at the end."""
+    record: Dict[str, dict] = {}
+    yield record
+    if not record:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "suite": "perf",
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "rounds": PERF_ROUNDS,
+        "benchmarks": record,
+    }
+    PERF_RECORD.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture()
+def perf_publish(perf_record):
+    """Record one named measurement into the session's BENCH_perf.json."""
+
+    def _publish(name: str, *, wall_seconds: float, ops: int,
+                 unit: str = "events", **extra) -> None:
+        measurement = {
+            "wall_seconds": round(wall_seconds, 6),
+            "ops": ops,
+            "unit": unit,
+            "throughput_per_sec": round(ops / wall_seconds, 1),
+        }
+        measurement.update(extra)
+        perf_record[name] = measurement
+        print(f"\n[perf] {name}: {measurement['throughput_per_sec']:,.0f} "
+              f"{unit}/sec ({ops} {unit} in {wall_seconds:.3f}s)")
+
+    return _publish

@@ -1,0 +1,29 @@
+"""Measurement helpers shared by the perf micro/macro benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+#: Timed rounds per benchmark (after one untimed warmup).
+PERF_ROUNDS = 3
+
+
+def best_of(fn: Callable[[], int], rounds: int = PERF_ROUNDS) -> Tuple[float, int]:
+    """Run ``fn`` once untimed, then ``rounds`` timed; return best round.
+
+    ``fn`` returns the number of operations it performed; the result is
+    ``(best_wall_seconds, ops_of_best_round)``.  Throughput is a property
+    of the code, so the least-interfered-with (minimum-wall) round is the
+    estimate of record; simulations are deterministic, so rounds differ
+    only by machine noise.
+    """
+    fn()  # warmup: import costs, allocator steady-state, branch caches
+    best = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        ops = fn()
+        dt = time.perf_counter() - t0
+        if best is None or dt < best[0]:
+            best = (dt, ops)
+    return best

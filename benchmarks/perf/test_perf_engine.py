@@ -1,0 +1,68 @@
+"""Micro-benchmark: raw engine event throughput.
+
+The event loop is the floor under every other number — no simulation
+layer can process events faster than the engine pops them.  Three
+shapes: a pre-filled heap (pure pop/dispatch), a self-perpetuating
+chain (steady-state schedule+pop, the workload generator's pattern),
+and a cancellation-heavy run (lazy-deletion sweep cost).
+"""
+
+from perfutil import best_of
+
+from repro.sim.engine import Simulator
+
+PREFILL_EVENTS = 200_000
+CHAIN_EVENTS = 200_000
+CANCEL_EVENTS = 100_000
+
+
+def _noop():
+    pass
+
+
+def test_engine_prefilled_heap(perf_publish):
+    def run() -> int:
+        sim = Simulator()
+        for i in range(PREFILL_EVENTS):
+            sim.schedule(float(i % 64), _noop)
+        sim.run()
+        return sim.events_processed
+
+    wall, ops = best_of(run)
+    perf_publish("engine_prefilled", wall_seconds=wall, ops=ops)
+
+
+def test_engine_selfperpetuating_chain(perf_publish):
+    def run() -> int:
+        sim = Simulator()
+        remaining = [CHAIN_EVENTS]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0]:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return sim.events_processed
+
+    wall, ops = best_of(run)
+    perf_publish("engine_chain", wall_seconds=wall, ops=ops)
+
+
+def test_engine_cancellation_sweep(perf_publish):
+    """Half the scheduled events are cancelled before the run drains."""
+
+    def run() -> int:
+        sim = Simulator()
+        handles = [
+            sim.schedule(float(i % 64), _noop) for i in range(CANCEL_EVENTS)
+        ]
+        for handle in handles[::2]:
+            handle.cancel()
+        sim.run()
+        return CANCEL_EVENTS  # scheduled ops, fired + swept
+
+    wall, ops = best_of(run)
+    perf_publish("engine_cancellation", wall_seconds=wall, ops=ops,
+                 unit="scheduled")

@@ -1,0 +1,59 @@
+"""Micro-benchmark: transport send/deliver throughput.
+
+A ping-pong pair exercises the full per-hop path — observer dispatch,
+delay lookup, delivery scheduling, handler dispatch — which is what
+every query, update and clear-bit pays once per overlay hop.  Measured
+with the metrics collector attached (the production configuration).
+"""
+
+from perfutil import best_of
+
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.network import Message, Transport
+
+HOPS = 100_000
+
+
+class _Ball(Message):
+    kind = "query"
+    __slots__ = ("key", "path")
+
+    def __init__(self):
+        super().__init__()
+        self.key = "k"
+        self.path = None
+
+
+class _Paddle:
+    """Returns every delivery to the peer until the rally budget drains."""
+
+    def __init__(self, transport, me, peer, budget):
+        self._transport = transport
+        self._me = me
+        self._peer = peer
+        self.budget = budget
+
+    def receive(self, message, sender):
+        if self.budget[0] > 0:
+            self.budget[0] -= 1
+            self._transport.send(self._me, self._peer, message)
+
+
+def test_transport_ping_pong(perf_publish):
+    def run() -> int:
+        sim = Simulator()
+        transport = Transport(sim, default_delay=0.001)
+        collector = MetricsCollector()
+        transport.add_send_observer(collector.on_send)
+        budget = [HOPS]
+        transport.register("a", _Paddle(transport, "a", "b", budget))
+        transport.register("b", _Paddle(transport, "b", "a", budget))
+        transport.add_link("a", "b", delay=0.001)
+        transport.send("a", "b", _Ball())
+        sim.run()
+        return transport.sent
+
+    wall, ops = best_of(run)
+    perf_publish("transport_ping_pong", wall_seconds=wall, ops=ops,
+                 unit="hops")

@@ -50,6 +50,7 @@ class KeyState:
         "designated_replica",
         "clear_bit_sent",
         "justification_deadlines",
+        "_interest_sorted",
     )
 
     #: Cap on retained justification windows per key; refreshes arrive at
@@ -79,6 +80,8 @@ class KeyState:
         self.designated_replica: Optional[str] = None
         self.clear_bit_sent = False
         self.justification_deadlines: Deque[float] = deque()
+        # Memoized deterministic fan-out order (see sorted_interest).
+        self._interest_sorted: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Entry freshness
@@ -129,19 +132,47 @@ class KeyState:
 
     def register_interest(self, neighbor: NodeId) -> None:
         """Set the neighbor's interest bit (it asked about this key)."""
-        self.interest.add(neighbor)
+        if neighbor not in self.interest:
+            self.interest.add(neighbor)
+            self._interest_sorted = None
 
     def clear_interest(self, neighbor: NodeId) -> bool:
         """Clear the neighbor's interest bit; True if it was set."""
         if neighbor in self.interest:
             self.interest.discard(neighbor)
+            self._interest_sorted = None
             return True
         return False
+
+    def clear_all_interest(self) -> None:
+        """Drop every interest bit (standard caching after a response)."""
+        if self.interest:
+            self.interest.clear()
+            self._interest_sorted = None
 
     def drop_departed_neighbors(self, alive: Set[NodeId]) -> None:
         """Patch the bit vector after churn (§2.9): keep only live nodes."""
         self.interest &= alive
         self.waiting &= alive
+        self._interest_sorted = None
+
+    def sorted_interest(self) -> tuple:
+        """Interested neighbors in deterministic (str-keyed) fan-out order.
+
+        Memoized: the ordering is recomputed only when the interest set
+        changes, not once per forwarded update.  A length check guards
+        against callers that mutate ``interest`` directly.
+        """
+        cached = self._interest_sorted
+        if cached is not None and len(cached) == len(self.interest):
+            return cached
+        interest = self.interest
+        if len(interest) <= 1:
+            cached = tuple(interest)
+        else:
+            cached = tuple(sorted(interest, key=str))
+        self._interest_sorted = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Justification accounting (§3.1)

@@ -161,6 +161,14 @@ class OutgoingUpdateChannels:
         self._seq = itertools.count()
         self._pump_scheduled = False
         self._pump_event = None
+        # Incremental longest-queue tracking: total queued count (O(1)
+        # pending check), one precomputed deterministic tie-break key per
+        # neighbor, and a lazy max-heap of (-length, tie_key, neighbor)
+        # entries refreshed on every length change.  Stale entries are
+        # skipped at selection time, so the pump never rescans all queues.
+        self._queued_total = 0
+        self._tie_keys: Dict[NodeId, str] = {}
+        self._longest: List[tuple] = []
         # Statistics (read by metrics and tests).
         self.forwarded = 0
         self.suppressed = 0
@@ -183,9 +191,14 @@ class OutgoingUpdateChannels:
             # schedule would otherwise linger at the old pace.
             if self._pump_event is not None:
                 self._pump_event.cancel()
-                self._pump_scheduled = False
+                self._pump_event = None
+            self._pump_scheduled = False
             self._schedule_pump()
         if capacity.rate is None:
+            if self._pump_event is not None:
+                self._pump_event.cancel()
+                self._pump_event = None
+            self._pump_scheduled = False
             self._flush_all()
 
     # ------------------------------------------------------------------
@@ -218,7 +231,15 @@ class OutgoingUpdateChannels:
             next(self._seq),
             update,
         )
-        heapq.heappush(self._queues.setdefault(neighbor, []), queued)
+        queue = self._queues.get(neighbor)
+        if queue is None:
+            queue = self._queues[neighbor] = []
+            self._tie_keys[neighbor] = str(neighbor)
+        heapq.heappush(queue, queued)
+        self._queued_total += 1
+        heapq.heappush(
+            self._longest, (-len(queue), self._tie_keys[neighbor], neighbor)
+        )
         if not self._pump_scheduled:
             self._schedule_pump()
         return True
@@ -228,7 +249,7 @@ class OutgoingUpdateChannels:
     # ------------------------------------------------------------------
 
     def _pending(self) -> bool:
-        return any(self._queues.values())
+        return self._queued_total > 0
 
     def queue_length(self, neighbor: NodeId) -> int:
         """Pending updates toward ``neighbor`` (includes not-yet-purged
@@ -244,26 +265,46 @@ class OutgoingUpdateChannels:
 
     def _pump_once(self) -> None:
         self._pump_scheduled = False
+        # The pump this event belonged to has fired; drop the reference so
+        # a later ``set_capacity`` cannot cancel an already-fired event.
+        self._pump_event = None
         now = self._sim.now
         # Proportional sharing: always serve the longest queue, which is
         # the discrete equivalent of giving each channel a share of U
         # proportional to its backlog (ties broken by id for determinism).
-        target: Optional[NodeId] = None
-        target_len = 0
-        for neighbor, queue in self._queues.items():
-            self._drop_expired(queue, now)
-            if len(queue) > target_len or (
-                len(queue) == target_len and target is not None
-                and queue and str(neighbor) < str(target)
-            ):
-                target = neighbor
-                target_len = len(queue)
-        if target is None or target_len == 0:
-            return
-        queued = heapq.heappop(self._queues[target])
-        self._send(target, queued.update)
-        self.forwarded += 1
-        if self._pending():
+        # Selection is a lazy max-heap walk: entries whose recorded length
+        # no longer matches the queue are stale and discarded; expiry
+        # purging is amortized — only popped heads are examined, so a
+        # pump tick costs O(log) instead of a full scan of every queue.
+        queues = self._queues
+        longest = self._longest
+        while longest:
+            neg_len, _, neighbor = longest[0]
+            queue = queues.get(neighbor)
+            if queue is None or len(queue) != -neg_len:
+                heapq.heappop(longest)
+                continue
+            sent = False
+            while queue:
+                queued = heapq.heappop(queue)
+                self._queued_total -= 1
+                if queued.update.is_expired(now):
+                    # Lazy elimination of expired updates (§2.8): they
+                    # surface here in priority order and cost one pop each.
+                    self.expired_in_queue += 1
+                    continue
+                self._send(neighbor, queued.update)
+                self.forwarded += 1
+                sent = True
+                break
+            heapq.heappop(longest)
+            if queue:
+                heapq.heappush(
+                    longest, (-len(queue), self._tie_keys[neighbor], neighbor)
+                )
+            if sent:
+                break
+        if self._queued_total:
             self._schedule_pump()
 
     def _drop_expired(self, queue: List[_QueuedUpdate], now: float) -> None:
@@ -285,3 +326,5 @@ class OutgoingUpdateChannels:
                 queued = heapq.heappop(queue)
                 self._send(neighbor, queued.update)
                 self.forwarded += 1
+        self._queued_total = 0
+        self._longest.clear()

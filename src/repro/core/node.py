@@ -220,22 +220,26 @@ class CupNode:
         # "In each of the cases, the node updates its popularity measure
         # for K" (§2.5) — queries from neighbors and local clients alike.
         state.popularity += 1
-        if self.track_justification:
+        if self.track_justification and state.justification_deadlines:
             justified, unjustified = state.settle_justification(now)
             self.metrics.justified_updates += justified
             self.metrics.unjustified_updates += unjustified
 
-        entries: Optional[tuple] = None
+        # Hit paths materialize the answering entries only when a
+        # neighbor needs them on the wire; a local hit — the overwhelming
+        # majority of queries in a warm network — answers without
+        # building the entry tuple at all.
         if self._is_authority(key):
-            entries = tuple(self.authority_index.fresh_entries(key, now))
             self.metrics.authority_answers += 1
-        elif state.has_fresh(now):
-            # Case 1: fresh entries cached — answer from here.
-            entries = tuple(state.fresh_entries(now))
-            self.metrics.cache_answers += 1
-
-        if entries is not None:
             if from_neighbor is not None:
+                entries = tuple(self.authority_index.fresh_entries(key, now))
+                self._answer_query(state, entries, from_neighbor, path, now)
+            return True
+        if state.has_fresh(now):
+            # Case 1: fresh entries cached — answer from here.
+            self.metrics.cache_answers += 1
+            if from_neighbor is not None:
+                entries = tuple(state.fresh_entries(now))
                 self._answer_query(state, entries, from_neighbor, path, now)
             return True
 
@@ -444,7 +448,7 @@ class CupNode:
             self.channels.push(neighbor, update.fork())
         state.waiting.clear()
         if not self.persistent_interest:
-            state.interest.clear()
+            state.clear_all_interest()
             return
         # A response is an update arrival: the popularity interval
         # ("queries since the last update", §2.3) closes here, and the
@@ -503,10 +507,7 @@ class CupNode:
         """
         if not state.interest:
             return set()
-        if len(state.interest) == 1:
-            targets = tuple(state.interest)
-        else:
-            targets = sorted(state.interest, key=str)
+        targets = state.sorted_interest()
         # The push-level gate (§3.3) caps *propagation* — maintenance
         # updates only.  First-time updates are query responses; blocking
         # them would break query resolution itself (a push level of 0

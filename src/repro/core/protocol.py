@@ -47,10 +47,10 @@ from repro.overlay.pastry import PastryOverlay
 from repro.replicas.replica import ReplicaSet
 from repro.sim.engine import Simulator
 from repro.sim.network import Transport
-from repro.sim.random import RandomStreams
+from repro.sim.random import BufferedUniforms, RandomStreams
 from repro.sim.trace import Tracer
 from repro.workload.arrivals import PoissonArrivals
-from repro.workload.generator import QueryWorkload
+from repro.workload.generator import QueryWorkload, uniform_node_selector
 from repro.workload.keyspace import KeySelector, UniformKeys, ZipfKeys
 
 
@@ -186,6 +186,12 @@ class CupNetwork:
         self.overlay = self._build_overlay()
         self.keys = [f"k{i:05d}" for i in range(config.resolved_total_keys())]
 
+        # One buffered view of the shared capacity stream for every node:
+        # coin flips (§3.7 fractional capacity, §3.6 refresh sampling) are
+        # drawn in blocks, and because all consumers share this wrapper
+        # the served sequence is bit-identical to per-call scalar draws.
+        self._capacity_rng = BufferedUniforms(self.streams.get("capacity"))
+
         # Keep-alive machinery (§2.1): off until enable_keepalive().
         self._keepalive_settings = None
         self._crashed: set = set()
@@ -258,7 +264,7 @@ class CupNetwork:
             capacity=CapacityConfig(
                 fraction=config.capacity_fraction, rate=config.capacity_rate
             ),
-            rng=self.streams.get("capacity"),
+            rng=self._capacity_rng,
             pfu_timeout=config.pfu_timeout,
             track_justification=config.track_justification,
             refresh_aggregation_window=config.refresh_aggregation_window,
@@ -325,12 +331,10 @@ class CupNetwork:
             rate if rate is not None else config.query_rate,
             self.streams.get("workload-arrivals"),
         )
-        rng = self.streams.get("workload-nodes")
-
-        def select_node(now: float) -> NodeId:
-            # Read the member list afresh on every draw: churn replaces it.
-            members = self._member_list
-            return members[int(rng.integers(len(members)))]
+        # Read the member list afresh on every draw: churn replaces it.
+        select_node = uniform_node_selector(
+            lambda: self._member_list, self.streams.get("workload-nodes")
+        )
 
         self.workload = QueryWorkload(
             sim=self.sim,

@@ -58,6 +58,14 @@ class MetricsCollector:
         # --- latency (seconds, extension beyond the paper's hop metric)
         self.answer_delay_total = 0.0
         self.answer_delay_count = 0
+        # Per-kind counter binding for the send observer: one dict probe
+        # and a bound-method call per hop instead of a string-comparison
+        # chain (the observer fires on every overlay-hop send).
+        self._send_counters = {
+            "query": self._count_query_hop,
+            "update": self._count_update_hop,
+            "clear_bit": self._count_clear_bit_hop,
+        }
 
     # ------------------------------------------------------------------
     # Transport observer
@@ -65,13 +73,18 @@ class MetricsCollector:
 
     def on_send(self, src: NodeId, dst: NodeId, message: Message) -> None:
         """Classify one overlay-hop send (wired as a transport observer)."""
-        kind = message.kind
-        if kind == "query":
-            self.query_hops += 1
-        elif kind == "update":
-            self.update_hops[message.update_type] += 1
-        elif kind == "clear_bit":
-            self.clear_bit_hops += 1
+        counter = self._send_counters.get(message.kind)
+        if counter is not None:
+            counter(message)
+
+    def _count_query_hop(self, message: Message) -> None:
+        self.query_hops += 1
+
+    def _count_update_hop(self, message: Message) -> None:
+        self.update_hops[message.update_type] += 1
+
+    def _count_clear_bit_hop(self, message: Message) -> None:
+        self.clear_bit_hops += 1
 
     # ------------------------------------------------------------------
     # Derived quantities (§3.3 definitions)

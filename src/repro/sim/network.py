@@ -96,7 +96,10 @@ class Transport:
         self._sim = sim
         self.default_delay = default_delay
         self._handlers: Dict[NodeId, MessageHandler] = {}
-        self._links: Dict[Tuple[NodeId, NodeId], Link] = {}
+        # Directed delay registry: every registered link stores *both*
+        # ``(a, b)`` and ``(b, a)``, so the send hot path is a single
+        # dict probe — no Link construction, no canonicalization.
+        self._delays: Dict[Tuple[NodeId, NodeId], float] = {}
         self._send_observers: List[SendObserver] = []
         self.sent = 0
         self.delivered = 0
@@ -113,10 +116,10 @@ class Transport:
     def unregister(self, node_id: NodeId) -> None:
         """Detach a node; in-flight messages to it will be dropped."""
         self._handlers.pop(node_id, None)
-        stale = [key for key, link in self._links.items()
-                 if link.a == node_id or link.b == node_id]
+        stale = [key for key in self._delays
+                 if key[0] == node_id or key[1] == node_id]
         for key in stale:
-            del self._links[key]
+            del self._delays[key]
 
     def is_registered(self, node_id: NodeId) -> bool:
         """Whether ``node_id`` currently has a handler attached."""
@@ -125,17 +128,19 @@ class Transport:
     def add_link(self, a: NodeId, b: NodeId, delay: Optional[float] = None) -> Link:
         """Create (or replace) the bidirectional link between ``a`` and ``b``."""
         link = Link(a, b, self.default_delay if delay is None else delay)
-        self._links[link.key()] = link
+        self._delays[(a, b)] = link.delay
+        self._delays[(b, a)] = link.delay
         return link
 
     def remove_link(self, a: NodeId, b: NodeId) -> None:
         """Remove the link between ``a`` and ``b`` if present."""
-        self._links.pop(Link(a, b, 0.0).key(), None)
+        self._delays.pop((a, b), None)
+        self._delays.pop((b, a), None)
 
     def link_delay(self, a: NodeId, b: NodeId) -> float:
         """One-way delay between ``a`` and ``b`` (default if unregistered)."""
-        link = self._links.get(Link(a, b, 0.0).key())
-        return link.delay if link is not None else self.default_delay
+        delay = self._delays.get((a, b))
+        return delay if delay is not None else self.default_delay
 
     # ------------------------------------------------------------------
     # Observation
@@ -163,9 +168,18 @@ class Transport:
             raise ValueError(f"node {src!r} attempted to send to itself")
         self.sent += 1
         message.hops += 1
-        for observer in self._send_observers:
-            observer(src, dst, message)
-        delay = self.link_delay(src, dst)
+        observers = self._send_observers
+        if observers:
+            # Nearly every run attaches exactly one observer (the metrics
+            # collector); call it directly instead of looping.
+            if len(observers) == 1:
+                observers[0](src, dst, message)
+            else:
+                for observer in observers:
+                    observer(src, dst, message)
+        delay = self._delays.get((src, dst))
+        if delay is None:
+            delay = self.default_delay
         self._sim.schedule(delay, self._deliver, src, dst, message)
 
     def send_direct(self, dst: NodeId, message: Message, delay: float = 0.0,

@@ -12,9 +12,16 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.sim.random import BufferedExponentials
+
 
 class PoissonArrivals:
     """Exponential inter-arrival gaps at a fixed aggregate rate.
+
+    Gaps are drawn from the generator in blocks (the rate is fixed for
+    the process lifetime) and served as plain floats; the sequence is
+    bit-identical to per-call scalar draws, but a λ=1000 q/s run stops
+    paying numpy's scalar-dispatch overhead once per arrival.
 
     Parameters
     ----------
@@ -31,10 +38,11 @@ class PoissonArrivals:
             raise ValueError(f"rate must be positive, got {rate}")
         self.rate = rate
         self._rng = rng
+        self._gaps = BufferedExponentials(rng, 1.0 / rate)
 
     def next_gap(self) -> float:
         """Seconds until the next arrival."""
-        return float(self._rng.exponential(1.0 / self.rate))
+        return self._gaps.next()
 
     def __iter__(self) -> Iterator[float]:
         while True:

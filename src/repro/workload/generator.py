@@ -104,12 +104,23 @@ class QueryWorkload:
 def uniform_node_selector(
     members_fn: Callable[[], List[NodeId]], rng: np.random.Generator
 ) -> NodeSelector:
-    """Uniform choice over current membership (re-read every arrival)."""
+    """Uniform choice over current membership (re-read every arrival).
+
+    Draws are buffered in blocks while the membership count is stable
+    (bit-identical to scalar draws); a churn event that changes the count
+    starts a fresh buffer.
+    """
+    from repro.sim.random import BufferedIntegers
+
+    state: dict = {"buf": None}
 
     def select(now: float) -> NodeId:
         members = members_fn()
         if not members:
             raise RuntimeError("no live nodes to post a query at")
-        return members[int(rng.integers(len(members)))]
+        buf = state["buf"]
+        if buf is None or buf.bound != len(members):
+            buf = state["buf"] = BufferedIntegers(rng, len(members))
+        return members[buf.next()]
 
     return select

@@ -20,6 +20,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.sim.random import BufferedIntegers, BufferedUniforms
+
 
 class KeySelector(ABC):
     """Draws the key for each query arrival (may depend on sim time)."""
@@ -30,16 +32,22 @@ class KeySelector(ABC):
 
 
 class UniformKeys(KeySelector):
-    """Uniformly random key per query."""
+    """Uniformly random key per query.
+
+    Indices are drawn in blocks (same stream as scalar draws — the key
+    set is fixed) so per-query selection is a list index, not a numpy
+    scalar call.
+    """
 
     def __init__(self, keys: Sequence[str], rng: np.random.Generator):
         if not keys:
             raise ValueError("need at least one key")
         self._keys = list(keys)
         self._rng = rng
+        self._indices = BufferedIntegers(rng, len(self._keys))
 
     def select(self, now: float) -> str:
-        return self._keys[int(self._rng.integers(len(self._keys)))]
+        return self._keys[self._indices.next()]
 
 
 class ZipfKeys(KeySelector):
@@ -62,9 +70,12 @@ class ZipfKeys(KeySelector):
         weights = np.arange(1, len(self._keys) + 1, dtype=float) ** -s
         self._cdf = np.cumsum(weights / weights.sum())
         self._rng = rng
+        # Blocks are drawn only after the seeded shuffle above, so the
+        # served uniforms match scalar draws bit for bit.
+        self._uniforms = BufferedUniforms(rng)
 
     def select(self, now: float) -> str:
-        u = self._rng.random()
+        u = self._uniforms.random()
         index = int(np.searchsorted(self._cdf, u, side="left"))
         return self._keys[min(index, len(self._keys) - 1)]
 

@@ -168,3 +168,47 @@ class TestCapacityChanges:
         channels.set_capacity(CapacityConfig(rate=100.0))
         sim.run_until(1.2)
         assert len(sent) == 2
+
+    def test_pump_event_cleared_after_natural_fire(self):
+        # A fired pump must not leave a stale event reference behind:
+        # a later set_capacity would cancel an already-fired event.
+        sim, channels, sent = make_channels(CapacityConfig(rate=1.0))
+        channels.push("n1", update())
+        sim.run_until(1.0)  # pump fires, drains the only update
+        assert len(sent) == 1
+        assert channels._pump_event is None
+
+    def test_rate_change_mid_drain_repaces_cleanly(self):
+        # Three queued updates drain at rate 1; mid-drain (after the
+        # first token, with the pump's next event already scheduled and
+        # one having fired naturally) the rate rises to 10.  The
+        # remaining updates must drain at the new pace, exactly once
+        # each, with an exact pending-event count on the simulator.
+        sim, channels, sent = make_channels(CapacityConfig(rate=1.0))
+        for _ in range(3):
+            channels.push("n1", update(lifetime=1000.0))
+        sim.run_until(1.0)
+        assert len(sent) == 1
+        channels.set_capacity(CapacityConfig(rate=10.0))
+        sim.run_until(1.1)
+        assert len(sent) == 2
+        sim.run_until(1.25)  # next token at 1.1 + 0.1 (+ float epsilon)
+        assert len(sent) == 3
+        # Nothing queued: the pump stops and leaves no dangling events.
+        sim.run_until(5.0)
+        assert len(sent) == 3
+        assert sim.pending == 0
+        assert channels._pump_event is None
+
+    def test_rate_change_after_natural_drain_then_new_push(self):
+        # The stale-reference scenario end to end: the pump fires
+        # naturally (queue empty, no reschedule), capacity changes, and
+        # a new push must start a fresh pump at the new rate.
+        sim, channels, sent = make_channels(CapacityConfig(rate=2.0))
+        channels.push("n1", update(lifetime=1000.0))
+        sim.run_until(1.0)
+        assert len(sent) == 1
+        channels.set_capacity(CapacityConfig(rate=100.0))
+        channels.push("n1", update(lifetime=1000.0))
+        sim.run_until(1.1)
+        assert len(sent) == 2

@@ -73,6 +73,34 @@ class TestDeterminismGolden:
         second = CupNetwork(config).run()
         assert first == second
 
+    def test_standard_cell_bitwise_repeatable_including_event_count(self):
+        """Determinism under optimization: one standard cell, twice.
+
+        The hot-path work (tuple heaps, block-buffered RNG draws, lazy
+        queue maintenance) must not introduce any run-to-run variation:
+        the full MetricsSummary *and* the engine's processed-event count
+        must match exactly between two same-seed runs.
+        """
+        from repro.core.protocol import CupNetwork
+
+        config = TINY.config(seed=42, query_rate=TINY.rate(10.0))
+        results = []
+        for _ in range(2):
+            net = CupNetwork(config)
+            summary = net.run()
+            results.append((summary, net.sim.events_processed))
+        (first, first_events), (second, second_events) = results
+        assert first == second
+        assert first_events == second_events
+        # And the same for the standard-caching twin.
+        twin = config.variant(mode="standard")
+        runs = []
+        for _ in range(2):
+            net = CupNetwork(twin)
+            summary = net.run()
+            runs.append((summary, net.sim.events_processed))
+        assert runs[0] == runs[1]
+
     def test_seed_sensitivity(self):
         from repro.core.protocol import CupNetwork
 

@@ -122,6 +122,71 @@ class TestCancellation:
         assert fired == []
 
 
+class TestPendingCounter:
+    """``Simulator.pending`` is an O(1) live counter; these pin that it
+    stays *exact* through every schedule/cancel/fire combination."""
+
+    def test_pending_tracks_schedule_and_fire(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.pending == 5
+        sim.step()
+        assert sim.pending == 4
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancellation_keeps_pending_exact(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        handles[2].cancel()
+        handles[7].cancel()
+        assert sim.pending == 8
+        # Idempotent: double-cancel must not decrement twice.
+        handles[2].cancel()
+        assert sim.pending == 8
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 8
+
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        sim = Simulator()
+        fired = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run_until(1.5)
+        assert sim.pending == 1
+        # The event already fired; a late cancel is a no-op.
+        fired.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancel_during_run_keeps_pending_exact(self):
+        sim = Simulator()
+        later = sim.schedule(3.0, lambda: None)
+        sim.schedule(1.0, later.cancel)
+        sim.schedule(2.0, lambda: None)
+        sim.run_until(1.0)
+        assert sim.pending == 1  # the t=2 event; t=3 was cancelled
+        sim.run()
+        assert sim.pending == 0
+
+    def test_pending_matches_bruteforce_count_under_churn(self):
+        sim = Simulator()
+        handles = []
+        for i in range(100):
+            handles.append(sim.schedule(float(i % 7) + 0.5, lambda: None))
+        for handle in handles[::3]:
+            handle.cancel()
+        for handle in handles[::3]:  # idempotent re-cancel
+            handle.cancel()
+        alive = sum(1 for h in handles if not h.cancelled)
+        assert sim.pending == alive
+        processed = sim.run()
+        assert processed == alive
+        assert sim.pending == 0
+
+
 class TestRunModes:
     def test_run_returns_processed_count(self):
         sim = Simulator()

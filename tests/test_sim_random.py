@@ -1,8 +1,14 @@
-"""Unit tests for named random streams."""
+"""Unit tests for named random streams and block-buffered draws."""
 
+import numpy as np
 import pytest
 
-from repro.sim.random import RandomStreams
+from repro.sim.random import (
+    BufferedExponentials,
+    BufferedIntegers,
+    BufferedUniforms,
+    RandomStreams,
+)
 
 
 class TestRandomStreams:
@@ -48,3 +54,47 @@ class TestRandomStreams:
     def test_non_int_seed_rejected(self):
         with pytest.raises(TypeError):
             RandomStreams(seed="zero")
+
+
+class TestBufferedDraws:
+    """Block-buffered draws must be bit-identical to scalar draws —
+    this is what lets the hot paths batch RNG calls without changing
+    any simulation result."""
+
+    def test_uniforms_match_scalar_stream(self):
+        scalar = np.random.default_rng(123)
+        buffered = BufferedUniforms(np.random.default_rng(123), block=16)
+        for _ in range(100):  # crosses several block boundaries
+            assert buffered.random() == scalar.random()
+
+    def test_exponentials_match_scalar_stream(self):
+        scalar = np.random.default_rng(5)
+        buffered = BufferedExponentials(
+            np.random.default_rng(5), scale=0.37, block=16
+        )
+        for _ in range(100):
+            assert buffered.next() == float(scalar.exponential(0.37))
+
+    def test_integers_match_scalar_stream(self):
+        scalar = np.random.default_rng(9)
+        buffered = BufferedIntegers(np.random.default_rng(9), bound=17, block=16)
+        for _ in range(100):
+            assert buffered.next() == int(scalar.integers(17))
+
+    def test_integers_respect_bound(self):
+        buffered = BufferedIntegers(np.random.default_rng(1), bound=3, block=8)
+        draws = {buffered.next() for _ in range(200)}
+        assert draws == {0, 1, 2}
+
+    def test_uniform_values_are_plain_floats(self):
+        buffered = BufferedUniforms(np.random.default_rng(1))
+        assert type(buffered.random()) is float
+
+    def test_invalid_parameters_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            BufferedUniforms(rng, block=0)
+        with pytest.raises(ValueError):
+            BufferedIntegers(rng, bound=0)
+        with pytest.raises(ValueError):
+            BufferedExponentials(rng, scale=1.0, block=-1)
