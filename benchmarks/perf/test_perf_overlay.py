@@ -1,0 +1,132 @@
+"""Micro benchmarks: per-overlay ``next_hop`` routing throughput.
+
+One benchmark per overlay (Chord, Pastry, CAN), each measuring the
+memoized fast path against the unmemoized reference implementation on
+the same (node, key) decision mix — n = 1024 members, 64 keys, every
+pair warmed so the fast path is measured at its steady state (dict
+probes), exactly how the simulator hits it: a production run resolves
+the same (node, key) pairs millions of times between membership events.
+
+The ≥3x acceptance target of the fast-path PR is asserted here, so a
+regression that quietly strips the memoization fails the perf suite
+rather than just slowing the trajectory.  Reference throughput is
+measured on a subsample of the pairs (the Pastry reference is an O(n)
+scan; timing every pair would dominate suite runtime) and normalized to
+per-call cost.
+"""
+
+from perfutil import best_of
+
+from repro.overlay.can import CanOverlay
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.pastry import PastryOverlay
+
+#: Members per overlay and distinct keys in the decision mix.
+NUM_NODES = 1024
+NUM_KEYS = 64
+#: Timed fast-path next_hop calls per round.
+FAST_CALLS = 200_000
+#: Reference calls per round (normalized; the Pastry reference is O(n)).
+REFERENCE_CALLS = 2_000
+
+#: The fast path must beat the reference by at least this factor.
+SPEEDUP_FLOOR = 3.0
+
+
+def _build(overlay_name):
+    if overlay_name == "chord":
+        return ChordOverlay.build(range(NUM_NODES))
+    if overlay_name == "pastry":
+        return PastryOverlay.build(range(NUM_NODES))
+    return CanOverlay.perfect_grid(NUM_NODES)
+
+
+def _decision_mix(overlay):
+    """A deterministic spread of (node, key) routing decisions."""
+    nodes = sorted(overlay.node_ids(), key=str)
+    keys = [f"k{i:05d}" for i in range(NUM_KEYS)]
+    pairs = []
+    for i in range(4096):
+        pairs.append((nodes[(i * 131) % len(nodes)], keys[i % NUM_KEYS]))
+    return pairs
+
+
+def _measure_overlay(overlay_name, perf_publish):
+    overlay = _build(overlay_name)
+    pairs = _decision_mix(overlay)
+    for node_id, key in pairs:  # warm the memo and route tables
+        overlay.next_hop(node_id, key)
+
+    def fast_round():
+        next_hop = overlay.next_hop
+        calls = 0
+        while calls < FAST_CALLS:
+            for node_id, key in pairs:
+                next_hop(node_id, key)
+            calls += len(pairs)
+        return calls
+
+    def reference_round():
+        next_hop = overlay.next_hop_reference
+        for node_id, key in pairs[:REFERENCE_CALLS]:
+            next_hop(node_id, key)
+        return min(REFERENCE_CALLS, len(pairs))
+
+    fast_wall, fast_ops = best_of(fast_round)
+    ref_wall, ref_ops = best_of(reference_round)
+    fast_rate = fast_ops / fast_wall
+    ref_rate = ref_ops / ref_wall
+    speedup = fast_rate / ref_rate
+
+    perf_publish(
+        f"overlay_next_hop_{overlay_name}",
+        wall_seconds=fast_wall,
+        ops=fast_ops,
+        unit="hops",
+        reference_per_sec=round(ref_rate, 1),
+        speedup_vs_reference=round(speedup, 1),
+        nodes=NUM_NODES,
+        keys=NUM_KEYS,
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"{overlay_name}: memoized next_hop is only {speedup:.1f}x the "
+        f"reference (floor {SPEEDUP_FLOOR}x) — fast path regressed"
+    )
+
+
+def test_overlay_next_hop_chord(perf_publish):
+    _measure_overlay("chord", perf_publish)
+
+
+def test_overlay_next_hop_pastry(perf_publish):
+    _measure_overlay("pastry", perf_publish)
+
+
+def test_overlay_next_hop_can(perf_publish):
+    _measure_overlay("can", perf_publish)
+
+
+def test_overlay_authority_chord(perf_publish):
+    """Authority resolution: interned key positions + successor memo."""
+    overlay = ChordOverlay.build(range(NUM_NODES))
+    keys = [f"k{i:05d}" for i in range(NUM_KEYS)]
+    for key in keys:
+        overlay.authority(key)
+
+    def round_fn():
+        authority = overlay.authority
+        calls = 0
+        while calls < FAST_CALLS:
+            for key in keys:
+                authority(key)
+            calls += len(keys)
+        return calls
+
+    wall, ops = best_of(round_fn)
+    perf_publish(
+        "overlay_authority_chord",
+        wall_seconds=wall,
+        ops=ops,
+        unit="lookups",
+        nodes=NUM_NODES,
+    )

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Diff a fresh ``BENCH_perf.json`` against the committed baseline.
+
+Used by the CI ``perf-smoke`` job: the checked-out (committed) record is
+the baseline, the record the job just produced is the candidate, and any
+*micro*-benchmark whose throughput regressed more than the threshold
+(default 30%) fails the job.
+
+The baseline and candidate generally come from different machines
+(developer box vs shared CI runner), so raw throughput ratios measure
+hardware as much as code.  The check therefore normalizes each
+benchmark's candidate/baseline ratio by the **median ratio across all
+micro benchmarks**: a uniformly slower or faster machine shifts every
+ratio equally and cancels out, while a single benchmark that regressed
+relative to its peers stands out exactly as it would on identical
+hardware.  (With fewer than three shared micro benchmarks there is no
+robust median and raw ratios are used.)
+
+Macro cells (``macro_*``, ``scale_*``) are compared and reported but
+never fail the check: their multi-second runs are sensitive to runner
+class and co-tenancy beyond what median normalization corrects, and the
+micro suite plus the golden metric pins inside the macro cells already
+catch both slow-downs in a layer and fast-but-wrong changes.
+
+Exit status: 0 when no micro benchmark regressed, 1 otherwise, 2 on
+malformed input.
+
+Usage::
+
+    python scripts/check_perf_regression.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: Benchmark-name prefixes excluded from the hard regression gate.
+MACRO_PREFIXES = ("macro_", "scale_")
+
+#: Minimum shared micro benchmarks for a meaningful median ratio.
+MIN_SAMPLES_FOR_NORMALIZATION = 3
+
+
+def load_benchmarks(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        print(f"error: {path} has no 'benchmarks' mapping", file=sys.stderr)
+        raise SystemExit(2)
+    return benchmarks
+
+
+def is_macro(name: str) -> bool:
+    return name.startswith(MACRO_PREFIXES)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional throughput drop relative to "
+             "the suite median (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_benchmarks(args.baseline)
+    candidate = load_benchmarks(args.candidate)
+
+    ratios = {}
+    for name in sorted(set(baseline) & set(candidate)):
+        base_rate = baseline[name].get("throughput_per_sec")
+        cand_rate = candidate[name].get("throughput_per_sec")
+        if not base_rate or cand_rate is None:
+            continue
+        ratios[name] = (base_rate, cand_rate, cand_rate / base_rate)
+
+    micro_ratios = [r for name, (_, _, r) in ratios.items()
+                    if not is_macro(name)]
+    if len(micro_ratios) >= MIN_SAMPLES_FOR_NORMALIZATION:
+        machine_factor = statistics.median(micro_ratios)
+        print(f"machine normalization factor (median micro ratio): "
+              f"{machine_factor:.3f}")
+    else:
+        machine_factor = 1.0
+        print("too few shared micro benchmarks to normalize; "
+              "using raw ratios")
+
+    regressions = []
+    rows = []
+    for name, (base_rate, cand_rate, ratio) in sorted(ratios.items()):
+        normalized = ratio / machine_factor - 1.0
+        gated = not is_macro(name)
+        regressed = gated and normalized < -args.threshold
+        rows.append((name, base_rate, cand_rate, normalized, gated, regressed))
+        if regressed:
+            regressions.append(name)
+
+    missing = sorted(name for name in baseline
+                     if name not in candidate and not is_macro(name))
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'benchmark':<{width}}  {'baseline/s':>14}  {'candidate/s':>14}"
+          f"  {'vs median':>9}  verdict")
+    for name, base_rate, cand_rate, normalized, gated, regressed in rows:
+        verdict = ("REGRESSED" if regressed
+                   else "ok" if gated else "info-only")
+        print(f"{name:<{width}}  {base_rate:>14,.0f}  {cand_rate:>14,.0f}"
+              f"  {normalized:>+8.1%}  {verdict}")
+    for name in missing:
+        print(f"{name:<{width}}  missing from candidate record  REGRESSED")
+
+    if regressions or missing:
+        print(
+            f"\nFAIL: {len(regressions) + len(missing)} micro benchmark(s) "
+            f"regressed beyond {args.threshold:.0%} (or went missing): "
+            + ", ".join(regressions + missing)
+        )
+        return 1
+    print(f"\nOK: no micro benchmark regressed beyond {args.threshold:.0%} "
+          "of the suite median.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,8 +13,9 @@ seen, it keeps:
 * a popularity measure (queries since the last cut-off-relevant update);
 * per-key mutable state for the cut-off policy (e.g. second-chance
   strikes);
-* a cached upstream parent (the overlay next hop), invalidated by
-  overlay epoch bumps after churn.
+* a cached upstream parent (the overlay next hop), hop distance and
+  am-I-the-authority bit, each invalidated by overlay epoch bumps after
+  churn.
 
 The paper notes this bookkeeping "involves no network overhead" and is
 negligible next to the query-latency savings; accordingly nothing in this
@@ -47,6 +48,8 @@ class KeyState:
         "parent_epoch",
         "distance",
         "distance_epoch",
+        "is_authority_here",
+        "authority_epoch",
         "designated_replica",
         "clear_bit_sent",
         "justification_deadlines",
@@ -77,6 +80,11 @@ class KeyState:
         self.parent_epoch = -1
         self.distance = -1
         self.distance_epoch = -1
+        # Whether the owning node is this key's authority, per overlay
+        # epoch: the query fast path answers "am I the authority?" from
+        # here without re-entering the overlay (node.py's hot path).
+        self.is_authority_here = False
+        self.authority_epoch = -1
         self.designated_replica: Optional[str] = None
         self.clear_bit_sent = False
         self.justification_deadlines: Deque[float] = deque()

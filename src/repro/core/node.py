@@ -98,7 +98,6 @@ class CupNode:
         "pfu_timeout", "track_justification", "cache", "authority_index",
         "channels", "refresh_aggregation_window", "refresh_sample_fraction",
         "_aggregation_buffers", "_sample_rng", "keepalive_monitor",
-        "_authority_cache_key", "_authority_cache_val", "_authority_epoch",
     )
 
     def __init__(
@@ -151,10 +150,6 @@ class CupNode:
         self._sample_rng = rng
         # Attached by CupNetwork.enable_keepalive(); None otherwise.
         self.keepalive_monitor = None
-        # Memoized "am I the authority for this key?" (epoch-invalidated).
-        self._authority_cache_key: Optional[str] = None
-        self._authority_cache_val = False
-        self._authority_epoch = -1
 
     # ------------------------------------------------------------------
     # Transport entry point
@@ -229,7 +224,7 @@ class CupNode:
         # neighbor needs them on the wire; a local hit — the overwhelming
         # majority of queries in a warm network — answers without
         # building the entry tuple at all.
-        if self._is_authority(key):
+        if self._is_authority(key, state):
             self.metrics.authority_answers += 1
             if from_neighbor is not None:
                 entries = tuple(self.authority_index.fresh_entries(key, now))
@@ -366,7 +361,7 @@ class CupNode:
             delivered = self._forward_to_interested(
                 state, update, exclude=sender
             )
-        elif triggering and not self._is_authority(key):
+        elif triggering and not self._is_authority(key, state):
             distance = self._distance_for_policy(key, state)
             if not self.policy.should_keep_receiving(state, distance):
                 self._send_clear_bit(key, state, toward=sender)
@@ -456,7 +451,7 @@ class CupNode:
         # linear with a high alpha·D threshold) may cut off right after
         # being answered, which is exactly the behaviour §3.4 measures.
         self.policy.observe_update(state)
-        if not state.interest and not self._is_authority(state.key):
+        if not state.interest and not self._is_authority(state.key, state):
             distance = self._distance_for_policy(state.key, state)
             if not self.policy.should_keep_receiving(state, distance):
                 self._send_clear_bit(state.key, state, toward=sender)
@@ -553,7 +548,7 @@ class CupNode:
         state.clear_interest(sender)
         if state.interest or state.pending_first_update:
             return
-        if self._is_authority(message.key):
+        if self._is_authority(message.key, state):
             return
         # "If the node's popularity measure for K is low and all of its
         # interest bits are clear, the node also pushes a Clear-Bit" —
@@ -661,16 +656,18 @@ class CupNode:
     # Routing helpers (epoch-cached)
     # ------------------------------------------------------------------
 
-    def _is_authority(self, key: str) -> bool:
-        overlay = self._overlay
-        epoch = getattr(overlay, "epoch", 0)
-        if key == self._authority_cache_key and epoch == self._authority_epoch:
-            return self._authority_cache_val
-        value = overlay.authority(key) == self.node_id
-        self._authority_cache_key = key
-        self._authority_cache_val = value
-        self._authority_epoch = epoch
-        return value
+    def _is_authority(self, key: str, state: KeyState) -> bool:
+        """Epoch-cached "am I the authority for this key?".
+
+        Cached on the KeyState itself (not a single per-node slot), so a
+        multi-key workload never thrashes the memo; hot-path lookups
+        after the first per epoch are two attribute reads.
+        """
+        epoch = getattr(self._overlay, "epoch", 0)
+        if state.authority_epoch != epoch:
+            state.is_authority_here = self._overlay.authority(key) == self.node_id
+            state.authority_epoch = epoch
+        return state.is_authority_here
 
     def _parent(self, key: str, state: KeyState) -> Optional[NodeId]:
         epoch = getattr(self._overlay, "epoch", 0)

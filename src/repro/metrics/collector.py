@@ -58,6 +58,15 @@ class MetricsCollector:
         # --- latency (seconds, extension beyond the paper's hop metric)
         self.answer_delay_total = 0.0
         self.answer_delay_count = 0
+        # --- setup-cost accounting (wall clock, *not* part of
+        # MetricsSummary: wall times vary run to run and would break the
+        # byte-identical determinism referee).  Routing-table build time
+        # covers overlay construction plus every lazy per-epoch rebuild
+        # of derived routing state (finger tables, sorted member arrays),
+        # so sweep and perf reports can separate setup cost from
+        # steady-state throughput.
+        self.routing_build_seconds = 0.0
+        self.routing_table_builds = 0
         # Per-kind counter binding for the send observer: one dict probe
         # and a bound-method call per hop instead of a string-comparison
         # chain (the observer fires on every overlay-hop send).
@@ -85,6 +94,17 @@ class MetricsCollector:
 
     def _count_clear_bit_hop(self, message: Message) -> None:
         self.clear_bit_hops += 1
+
+    # ------------------------------------------------------------------
+    # Setup-cost accounting
+    # ------------------------------------------------------------------
+
+    def setup_cost_report(self) -> Dict[str, float]:
+        """Setup-cost counters, separate from the frozen run summary."""
+        return {
+            "routing_build_seconds": self.routing_build_seconds,
+            "routing_table_builds": self.routing_table_builds,
+        }
 
     # ------------------------------------------------------------------
     # Derived quantities (§3.3 definitions)

@@ -5,14 +5,29 @@ that "anytime a node issues a query for key K, the query will be routed
 along a well-defined structured path with a bounded number of hops from
 the querying node to the authority node for K", and that each hop is
 chosen deterministically.  This module captures exactly that contract.
+
+Because routing is deterministic and membership changes are rare relative
+to queries, the base class also owns the overlay *fast path*: interned
+positions (:class:`InternTable` hashes each NodeId/key string exactly
+once and carries an int thereafter) and memoized ``next_hop`` /
+``authority`` results, invalidated wholesale whenever the ``epoch``
+counter is bumped by a membership change.  Concrete overlays implement
+``_compute_next_hop`` / ``_compute_authority``; the public methods serve
+repeat lookups from a flat dict.  The unmemoized algorithms remain
+reachable through ``next_hop_reference`` / ``authority_reference`` so
+property tests can referee the caches against the specification.
 """
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
-from typing import Any, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 NodeId = Any
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` next hop.
+_MISS = object()
 
 
 class RoutingError(RuntimeError):
@@ -22,6 +37,41 @@ class RoutingError(RuntimeError):
     would-be infinite forwarding loops (e.g. from a corrupted topology in
     a failure-injection test) into loud failures.
     """
+
+
+class InternTable:
+    """Bounded string → position interning (hash once, carry ints).
+
+    Wraps a hash function so each distinct value is pushed through it at
+    most once while the table holds it; lookups after the first are dict
+    probes.  The table is cleared when it reaches ``max_size`` — interned
+    positions are pure functions of the value, so eviction only costs a
+    re-hash, never correctness.
+    """
+
+    __slots__ = ("_fn", "_table", "_max_size", "misses")
+
+    def __init__(self, fn: Callable[[str], Any], max_size: int = 1 << 20):
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self._fn = fn
+        self._table: Dict[str, Any] = {}
+        self._max_size = max_size
+        self.misses = 0
+
+    def __call__(self, value: str) -> Any:
+        table = self._table
+        position = table.get(value, _MISS)
+        if position is _MISS:
+            position = self._fn(value)
+            if len(table) >= self._max_size:
+                table.clear()
+            table[value] = position
+            self.misses += 1
+        return position
+
+    def __len__(self) -> int:
+        return len(self._table)
 
 
 class Overlay(ABC):
@@ -35,10 +85,36 @@ class Overlay(ABC):
       strictly closer to the authority (so routes are loop-free), or
       ``None`` when ``node`` is itself the authority;
     * routes are bounded by :attr:`max_route_length`.
+
+    Subclasses implement ``_compute_next_hop`` / ``_compute_authority``
+    and call :meth:`_membership_changed` after every join/leave; the base
+    class provides the epoch-invalidated memo in front of both, plus the
+    build-time accounting (:attr:`table_build_seconds`,
+    :attr:`table_builds`) sweep reports use to separate setup cost from
+    steady-state routing throughput.
     """
 
     #: Safety bound on route length; ``route`` raises beyond this.
     max_route_length = 10_000
+
+    #: Bound on memoized (node, key) routing results per epoch; the memo
+    #: is cleared (not evicted entrywise) beyond this, so a pathological
+    #: key universe degrades to the unmemoized cost, never to unbounded
+    #: memory.
+    route_cache_limit = 1 << 20
+
+    def __init__(self) -> None:
+        #: Bumped on every membership change; protocol layers and the
+        #: routing memos below invalidate against it.
+        self.epoch = 0
+        #: Cumulative wall seconds spent (re)building derived routing
+        #: state — route tables, interned member arrays — and how many
+        #: such builds happened.  Setup cost, reported separately from
+        #: steady-state throughput.
+        self.table_build_seconds = 0.0
+        self.table_builds = 0
+        self._next_hop_cache: Dict[Any, Optional[NodeId]] = {}
+        self._authority_cache: Dict[str, NodeId] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -58,20 +134,87 @@ class Overlay(ABC):
     def __len__(self) -> int:
         return sum(1 for _ in self.node_ids())
 
+    def _membership_changed(self) -> None:
+        """Invalidate every routing memo; call after each join/leave."""
+        self.epoch += 1
+        self._next_hop_cache.clear()
+        self._authority_cache.clear()
+        self._invalidate_tables()
+
+    def _invalidate_tables(self) -> None:
+        """Hook: drop membership-derived routing tables (fingers, sorted
+        member arrays, grid indices).  Default: nothing to drop."""
+
+    def _count_table_build(self, started_at: float) -> None:
+        """Accrue one derived-table (re)build into the setup-cost tally."""
+        self.table_build_seconds += time.perf_counter() - started_at
+        self.table_builds += 1
+
     # ------------------------------------------------------------------
-    # Routing
+    # Routing (memoized fast path)
     # ------------------------------------------------------------------
 
-    @abstractmethod
     def authority(self, key: str) -> NodeId:
         """The node that owns ``key``'s slice of the global index."""
+        cache = self._authority_cache
+        owner = cache.get(key, _MISS)
+        if owner is _MISS:
+            owner = self._compute_authority(key)
+            if len(cache) >= self.route_cache_limit:
+                cache.clear()
+            cache[key] = owner
+        return owner
 
-    @abstractmethod
     def next_hop(self, node_id: NodeId, key: str) -> Optional[NodeId]:
         """The neighbor to forward a query for ``key`` to.
 
         Returns ``None`` iff ``node_id`` is the authority for ``key``.
+        Memoized per (node, key) within the current membership epoch.
         """
+        cache = self._next_hop_cache
+        cache_key = (node_id, key)
+        hop = cache.get(cache_key, _MISS)
+        if hop is _MISS:
+            hop = self._compute_next_hop(node_id, key)
+            if len(cache) >= self.route_cache_limit:
+                cache.clear()
+            cache[cache_key] = hop
+        return hop
+
+    def _compute_authority(self, key: str) -> NodeId:
+        """Unmemoized authority resolution (overlay-specific)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _compute_authority "
+            "or override authority()"
+        )
+
+    def _compute_next_hop(self, node_id: NodeId, key: str) -> Optional[NodeId]:
+        """Unmemoized next-hop resolution (overlay-specific)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _compute_next_hop "
+            "or override next_hop()"
+        )
+
+    # ------------------------------------------------------------------
+    # Reference (unmemoized) routing — the property-test referee
+    # ------------------------------------------------------------------
+
+    def authority_reference(self, key: str) -> NodeId:
+        """``authority`` recomputed from scratch, bypassing every memo.
+
+        Overlays with a distinct specification algorithm (e.g. Pastry's
+        full-membership affinity scan) override this; the default simply
+        re-runs the compute path uncached.
+        """
+        return self._compute_authority(key)
+
+    def next_hop_reference(self, node_id: NodeId, key: str) -> Optional[NodeId]:
+        """``next_hop`` recomputed from scratch, bypassing every memo."""
+        return self._compute_next_hop(node_id, key)
+
+    # ------------------------------------------------------------------
+    # Derived routing
+    # ------------------------------------------------------------------
 
     def route(self, start: NodeId, key: str) -> List[NodeId]:
         """Full query path from ``start`` to the authority, inclusive.

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.overlay.base import NodeId, Overlay, RoutingError
+from repro.overlay.base import InternTable, NodeId, Overlay, RoutingError
 from repro.overlay.hashing import hash_to_unit_point
 
 Point = Tuple[float, ...]
@@ -218,16 +218,26 @@ class CanOverlay(Overlay):
     ``epoch`` increments on every membership change.  Protocol layers that
     cache routing decisions (CUP caches its upstream parent per key) use
     it to invalidate those caches after churn.
+
+    Fast path: key points are interned (hashlib once per key string);
+    grids built by :meth:`perfect_grid` resolve authorities by direct
+    cell arithmetic instead of a zone scan until the first join/leave
+    perturbs the grid; and ``next_hop`` decisions are memoized per
+    (node, key) by the base class, invalidated on every epoch bump.
     """
 
     def __init__(self, dims: int = 2):
         if dims < 1:
             raise ValueError(f"dims must be >= 1, got {dims}")
+        super().__init__()
         self.dims = dims
-        self.epoch = 0
         self._nodes: Dict[NodeId, CanNodeState] = {}
-        self._point_cache: Dict[str, Point] = {}
-        self._authority_cache: Dict[str, NodeId] = {}
+        self._key_point = InternTable(
+            lambda key: hash_to_unit_point(key, self.dims)
+        )
+        # (cols, rows) while the membership is exactly a perfect_grid
+        # construction; None once churn breaks the regular geometry.
+        self._grid: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -270,6 +280,7 @@ class CanOverlay(Overlay):
                     if neighbor != node_id:
                         state.neighbors.add(neighbor)
         overlay.epoch += 1
+        overlay._grid = (cols, rows)
         return overlay
 
     def add_first_node(self, node_id: NodeId) -> None:
@@ -397,9 +408,8 @@ class CanOverlay(Overlay):
             for other_id in added:
                 self._nodes[other_id].neighbors.add(node_id)
 
-    def _membership_changed(self) -> None:
-        self.epoch += 1
-        self._authority_cache.clear()
+    def _invalidate_tables(self) -> None:
+        self._grid = None
 
     # ------------------------------------------------------------------
     # Overlay interface
@@ -416,27 +426,39 @@ class CanOverlay(Overlay):
         return self._nodes[node_id]
 
     def key_point(self, key: str) -> Point:
-        """The coordinate-space point ``key`` hashes to (memoized)."""
-        point = self._point_cache.get(key)
-        if point is None:
-            point = hash_to_unit_point(key, self.dims)
-            self._point_cache[key] = point
-        return point
+        """The coordinate-space point ``key`` hashes to (interned)."""
+        return self._key_point(key)
 
-    def authority(self, key: str) -> NodeId:
-        owner = self._authority_cache.get(key)
-        if owner is None:
-            owner = self._owner_of(self.key_point(key))
-            self._authority_cache[key] = owner
-        return owner
+    def _compute_authority(self, key: str) -> NodeId:
+        return self._owner_of(self.key_point(key))
 
     def _owner_of(self, point: Point) -> NodeId:
+        if self._grid is not None:
+            # Perfect-grid fast path: zone edges sit at c/cols (cols a
+            # power of two), and multiplying a float by a power of two is
+            # exact in binary floating point, so the cell arithmetic
+            # reproduces the zone-containment test bit for bit.
+            cols, rows = self._grid
+            col = int(point[0] * cols)
+            row = int(point[1] * rows)
+            if 0 <= col < cols and 0 <= row < rows:
+                return row * cols + col
+            # Out-of-cube point (caller error): fall through to the scan,
+            # which raises the canonical RoutingError.
+        return self._owner_of_scan(point)
+
+    def _owner_of_scan(self, point: Point) -> NodeId:
+        """Reference ownership resolution: linear scan of every zone."""
         for node_id, state in self._nodes.items():
             if state.contains(point):
                 return node_id
         raise RoutingError(f"no zone contains point {point} (empty overlay?)")
 
-    def next_hop(self, node_id: NodeId, key: str) -> Optional[NodeId]:
+    def authority_reference(self, key: str) -> NodeId:
+        """The specification: zone scan, uninterned point, no memo."""
+        return self._owner_of_scan(hash_to_unit_point(key, self.dims))
+
+    def _compute_next_hop(self, node_id: NodeId, key: str) -> Optional[NodeId]:
         state = self._nodes.get(node_id)
         if state is None:
             raise RoutingError(f"node {node_id!r} is not a member")

@@ -8,12 +8,23 @@ needs (unit-cube points for CAN, ring identifiers for Chord).
 
 Results are deterministic across runs and platforms, which keeps
 experiments reproducible.
+
+Both helpers sit behind a bounded memo keyed by ``(key, bits-or-dims,
+salt)``: a key string is pushed through hashlib at most once per process
+for a given coordinate form, and every later lookup — replica joins,
+trace replay, repeated overlay builds in a sweep — is a dict probe.  The
+memo is an LRU with :data:`HASH_MEMO_SIZE` entries, so unbounded key
+universes (e.g. generated trace files) cannot grow it without limit.
 """
 
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Tuple
+
+#: Bound on each memo table (entries, LRU-evicted beyond this).
+HASH_MEMO_SIZE = 1 << 16
 
 
 def _digest(key: str, salt: str = "") -> bytes:
@@ -33,6 +44,11 @@ def hash_to_unit_point(key: str, dims: int = 2, salt: str = "") -> Tuple[float, 
     >>> len(p), all(0.0 <= c < 1.0 for c in p)
     (2, True)
     """
+    return _hash_to_unit_point(key, dims, salt)
+
+
+@lru_cache(maxsize=HASH_MEMO_SIZE)
+def _hash_to_unit_point(key: str, dims: int, salt: str) -> Tuple[float, ...]:
     if not 1 <= dims <= 4:
         raise ValueError(f"dims must be in [1, 4], got {dims}")
     digest = _digest(key, salt)
@@ -46,12 +62,25 @@ def hash_to_unit_point(key: str, dims: int = 2, salt: str = "") -> Tuple[float, 
 def hash_to_int(key: str, bits: int = 32, salt: str = "") -> int:
     """Map ``key`` to an integer identifier in ``[0, 2**bits)``.
 
-    Used by the Chord overlay for both node identifiers and key
-    identifiers (with different salts so a node name and an identical key
-    name do not collide systematically).
+    Used by the Chord and Pastry overlays for both node identifiers and
+    key identifiers (with different salts so a node name and an identical
+    key name do not collide systematically).
     """
+    return _hash_to_int(key, bits, salt)
+
+
+@lru_cache(maxsize=HASH_MEMO_SIZE)
+def _hash_to_int(key: str, bits: int, salt: str) -> int:
     if not 1 <= bits <= 160:
         raise ValueError(f"bits must be in [1, 160], got {bits}")
     digest = _digest(key, salt)
     value = int.from_bytes(digest, "big")
     return value % (1 << bits)
+
+
+def hash_memo_stats() -> dict:
+    """Hit/miss/size counters of both memo tables (observability aid)."""
+    return {
+        "int": _hash_to_int.cache_info()._asdict(),
+        "unit_point": _hash_to_unit_point.cache_info()._asdict(),
+    }

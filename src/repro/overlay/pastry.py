@@ -18,13 +18,33 @@ The authority for a key is the affinity maximum; every hop strictly
 increases affinity, so routes are loop-free and end at the authority.
 This folds Pastry's leaf-set tie-breaking into one deterministic rule
 (documented simplification of the real protocol's final-hop handling).
+
+Fast path
+---------
+The specification algorithm scans every member per routing decision
+(kept verbatim as ``next_hop_reference`` / ``authority_reference``).
+The fast path exploits a structural fact: members sharing ``l`` leading
+digits with a key occupy one aligned, contiguous identifier block around
+the key, so for *any* contiguous candidate interval around the key
+position the affinity maximum is attained at the interval's nearest
+member below or above the key.  The affinity maximum over the whole
+membership — and over the "strictly longer prefix" subset that drives
+prefix hops — is therefore decided by inspecting at most the two sorted
+neighbors of the key position (plus one skip past the routing node
+itself), turning each decision into one bisect over the interned
+position array: O(log n) instead of O(n).  Shared-prefix length is a
+single XOR/bit_length, not a per-digit loop, and the base class memo
+serves repeat (node, key) decisions as dict probes, invalidated when a
+membership change bumps ``epoch``.
 """
 
 from __future__ import annotations
 
+import bisect
+import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.overlay.base import NodeId, Overlay, RoutingError
+from repro.overlay.base import InternTable, NodeId, Overlay, RoutingError
 from repro.overlay.hashing import hash_to_int
 
 #: Base-16 digits, as in the Pastry paper (b = 4 bits per digit).
@@ -45,15 +65,23 @@ class PastryOverlay(Overlay):
     def __init__(self, digits: int = 8):
         if not 2 <= digits <= 16:
             raise ValueError(f"digits must be in [2, 16], got {digits}")
+        super().__init__()
         self.digits = digits
         self.bits = digits * DIGIT_BITS
         self.size = 1 << self.bits
-        self.epoch = 0
         self._id_of: Dict[NodeId, int] = {}
         self._node_at: Dict[int, NodeId] = {}
         self._members: List[Tuple[int, NodeId]] = []  # sorted by position
-        self._authority_cache: Dict[str, NodeId] = {}
-        self._key_cache: Dict[str, int] = {}
+        # Interned key → identifier position (hashlib once per string;
+        # membership-independent, so never invalidated).
+        self._key_position = InternTable(
+            lambda key: hash_to_int(key, self.bits, salt="pastry-key")
+        )
+        # Parallel interned arrays derived from _members, rebuilt lazily
+        # once per epoch: positions for bisect, ids for the result.
+        self._positions: List[int] = []
+        self._ids_sorted: List[NodeId] = []
+        self._tables_epoch = -1
 
     # ------------------------------------------------------------------
     # Membership
@@ -61,12 +89,23 @@ class PastryOverlay(Overlay):
 
     @classmethod
     def build(cls, node_ids: Iterable[NodeId], digits: int = 8) -> "PastryOverlay":
+        """Construct a converged overlay containing ``node_ids``.
+
+        Bulk construction: members are collected unsorted and sorted
+        once, so building n members is O(n log n) instead of the
+        O(n^2 log n) of repeated per-join sorts.
+        """
         overlay = cls(digits=digits)
+        started = time.perf_counter()
         for node_id in node_ids:
-            overlay.join(node_id)
+            overlay._insert(node_id)
+        overlay._members.sort()
+        overlay._count_table_build(started)
+        overlay._membership_changed()
         return overlay
 
-    def join(self, node_id: NodeId) -> None:
+    def _insert(self, node_id: NodeId) -> int:
+        """Hash and record one member without re-sorting the member list."""
         if node_id in self._id_of:
             raise ValueError(f"node {node_id!r} is already a member")
         position = hash_to_int(str(node_id), self.bits, salt="pastry-node")
@@ -78,6 +117,10 @@ class PastryOverlay(Overlay):
         self._id_of[node_id] = position
         self._node_at[position] = node_id
         self._members.append((position, node_id))
+        return position
+
+    def join(self, node_id: NodeId) -> None:
+        self._insert(node_id)
         self._members.sort()
         self._membership_changed()
 
@@ -89,9 +132,18 @@ class PastryOverlay(Overlay):
         self._members.remove((position, node_id))
         self._membership_changed()
 
-    def _membership_changed(self) -> None:
-        self.epoch += 1
-        self._authority_cache.clear()
+    def _invalidate_tables(self) -> None:
+        self._tables_epoch = -1
+
+    def _sorted_tables(self) -> Tuple[List[int], List[NodeId]]:
+        """Parallel (positions, ids) arrays, rebuilt once per epoch."""
+        if self._tables_epoch != self.epoch:
+            started = time.perf_counter()
+            self._positions = [position for position, _ in self._members]
+            self._ids_sorted = [node_id for _, node_id in self._members]
+            self._tables_epoch = self.epoch
+            self._count_table_build(started)
+        return self._positions, self._ids_sorted
 
     # ------------------------------------------------------------------
     # Identifier arithmetic
@@ -101,19 +153,18 @@ class PastryOverlay(Overlay):
         return self._id_of[node_id]
 
     def key_position(self, key: str) -> int:
-        position = self._key_cache.get(key)
-        if position is None:
-            position = hash_to_int(key, self.bits, salt="pastry-key")
-            self._key_cache[key] = position
-        return position
+        return self._key_position(key)
 
     def shared_prefix(self, a: int, b: int) -> int:
-        """Leading base-16 digits ``a`` and ``b`` have in common."""
-        for i in range(self.digits):
-            shift = (self.digits - 1 - i) * DIGIT_BITS
-            if (a >> shift) & 0xF != (b >> shift) & 0xF:
-                return i
-        return self.digits
+        """Leading base-16 digits ``a`` and ``b`` have in common.
+
+        One XOR and a bit_length: the highest differing bit pins the
+        first differing digit, so no per-digit loop is needed.
+        """
+        x = a ^ b
+        if x == 0:
+            return self.digits
+        return (self.bits - x.bit_length()) // DIGIT_BITS
 
     def _circular_distance(self, a: int, b: int) -> int:
         d = abs(a - b)
@@ -170,25 +221,117 @@ class PastryOverlay(Overlay):
         out.update(entry for _, entry in best.values())
         return out
 
-    def authority(self, key: str) -> NodeId:
-        owner = self._authority_cache.get(key)
-        if owner is None:
-            if not self._members:
-                raise RoutingError("empty overlay")
-            key_pos = self.key_position(key)
-            owner = max(
-                self._members,
-                key=lambda member: self._affinity(member[0], key_pos),
-            )[1]
-            self._authority_cache[key] = owner
-        return owner
+    def _ring_candidates(self, key_pos: int) -> Tuple[int, int, int]:
+        """(index of predecessor, index of successor, member count).
 
-    def next_hop(self, node_id: NodeId, key: str) -> Optional[NodeId]:
+        Predecessor/successor of ``key_pos`` in circular sorted-position
+        order (successor inclusive of an exact match).  Any contiguous
+        candidate interval around the key attains its affinity maximum at
+        one of these two members (see module docstring), which is what
+        lets routing decisions avoid the full-membership scan.
+        """
+        positions, _ = self._sorted_tables()
+        n = len(positions)
+        index = bisect.bisect_left(positions, key_pos)
+        return (index - 1) % n, index % n, n
+
+    def _compute_authority(self, key: str) -> NodeId:
+        if not self._members:
+            raise RoutingError("empty overlay")
+        key_pos = self.key_position(key)
+        positions, ids = self._sorted_tables()
+        pred, succ, _ = self._ring_candidates(key_pos)
+        best_index = pred
+        if succ != pred and (
+            self._affinity(positions[succ], key_pos)
+            > self._affinity(positions[pred], key_pos)
+        ):
+            best_index = succ
+        return ids[best_index]
+
+    def _compute_next_hop(self, node_id: NodeId, key: str) -> Optional[NodeId]:
         position = self._id_of.get(node_id)
         if position is None:
             raise RoutingError(f"node {node_id!r} is not a member")
         key_pos = self.key_position(key)
-        my_affinity = self._affinity(position, key_pos)
+        positions, ids = self._sorted_tables()
+        pred, succ, n = self._ring_candidates(key_pos)
+        if n == 1:
+            return None  # alone: this node owns everything
+
+        # The global affinity maximum (the authority) is pred or succ;
+        # if it is this node, the route terminates here.
+        best_index = pred
+        if succ != pred and (
+            self._affinity(positions[succ], key_pos)
+            > self._affinity(positions[pred], key_pos)
+        ):
+            best_index = succ
+        if positions[best_index] == position:
+            return None
+
+        # Nearest members on each side of the key *excluding* this node:
+        # every candidate subset that matters (longer-prefix block, full
+        # membership) is a contiguous interval around the key, so its
+        # affinity maximum is one of these two.
+        if positions[pred] == position:
+            pred = (pred - 1) % n
+        if positions[succ] == position:
+            succ = (succ + 1) % n
+        candidates = (pred,) if succ == pred else (pred, succ)
+
+        my_prefix = self.shared_prefix(position, key_pos)
+        best_prefix_hop: Optional[Tuple[Tuple[int, int, int], int]] = None
+        best_overall: Optional[Tuple[Tuple[int, int, int], int]] = None
+        for index in candidates:
+            affinity = self._affinity(positions[index], key_pos)
+            if best_overall is None or affinity > best_overall[0]:
+                best_overall = (affinity, index)
+            if affinity[0] > my_prefix and (
+                best_prefix_hop is None or affinity > best_prefix_hop[0]
+            ):
+                best_prefix_hop = (affinity, index)
+        if best_prefix_hop is not None:
+            return ids[best_prefix_hop[1]]
+        # No longer-prefix member exists; move strictly up the affinity
+        # order (numerically closer at the same prefix length).
+        return ids[best_overall[1]]
+
+    # ------------------------------------------------------------------
+    # Reference (specification) routing — full-membership scans
+    # ------------------------------------------------------------------
+
+    def _affinity_reference(self, position: int, key_pos: int) -> Tuple[int, int, int]:
+        """Affinity with the per-digit prefix loop (pre-fast-path form)."""
+        shared = 0
+        for i in range(self.digits):
+            shift = (self.digits - 1 - i) * DIGIT_BITS
+            if (position >> shift) & 0xF != (key_pos >> shift) & 0xF:
+                break
+            shared += 1
+        return (
+            shared,
+            -self._circular_distance(position, key_pos),
+            -position,
+        )
+
+    def authority_reference(self, key: str) -> NodeId:
+        """The specification: affinity maximum over every member."""
+        if not self._members:
+            raise RoutingError("empty overlay")
+        key_pos = hash_to_int(key, self.bits, salt="pastry-key")
+        return max(
+            self._members,
+            key=lambda member: self._affinity_reference(member[0], key_pos),
+        )[1]
+
+    def next_hop_reference(self, node_id: NodeId, key: str) -> Optional[NodeId]:
+        """The specification: scan every member per routing decision."""
+        position = self._id_of.get(node_id)
+        if position is None:
+            raise RoutingError(f"node {node_id!r} is not a member")
+        key_pos = hash_to_int(key, self.bits, salt="pastry-key")
+        my_affinity = self._affinity_reference(position, key_pos)
         my_prefix = my_affinity[0]
 
         # Prefix hop: the closest member sharing at least one more digit.
@@ -198,7 +341,7 @@ class PastryOverlay(Overlay):
         for other_pos, other_id in self._members:
             if other_id == node_id:
                 continue
-            affinity = self._affinity(other_pos, key_pos)
+            affinity = self._affinity_reference(other_pos, key_pos)
             if affinity > best_overall[0]:
                 best_overall = (affinity, other_id)
             if affinity[0] > my_prefix:
