@@ -51,6 +51,10 @@ from repro.core.policies import (
 )
 from repro.core.protocol import CupConfig, CupNetwork
 from repro.core.trees import QueryTree
+from repro.invariants.checker import (
+    InvariantChecker,
+    InvariantViolationError,
+)
 from repro.metrics.collector import MetricsCollector, MetricsSummary
 from repro.overlay.base import Overlay, RoutingError
 from repro.overlay.can import CanOverlay, Zone
@@ -66,8 +70,15 @@ from repro.workload.faults import (
     once_down_always_down,
     up_and_down,
 )
+from repro.scenarios.dsl import Scenario
+from repro.scenarios.runner import run_scenario
 from repro.workload.generator import QueryWorkload
-from repro.workload.keyspace import FlashCrowdKeys, UniformKeys, ZipfKeys
+from repro.workload.keyspace import (
+    FlashCrowdKeys,
+    RotatingHotKeys,
+    UniformKeys,
+    ZipfKeys,
+)
 from repro.workload.tracefile import QueryTrace
 
 __version__ = "1.0.0"
@@ -86,6 +97,8 @@ __all__ = [
     "CutoffPolicy",
     "FlashCrowdKeys",
     "IndexEntry",
+    "InvariantChecker",
+    "InvariantViolationError",
     "KeyState",
     "LinearPolicy",
     "LogBasedPolicy",
@@ -105,7 +118,9 @@ __all__ = [
     "ReplicaEvent",
     "ReplicaMessage",
     "ReplicaSet",
+    "RotatingHotKeys",
     "RoutingError",
+    "Scenario",
     "SecondChancePolicy",
     "Simulator",
     "Transport",
@@ -119,6 +134,7 @@ __all__ = [
     "justification_probability",
     "make_policy",
     "once_down_always_down",
+    "run_scenario",
     "saved_miss_overhead_ratio",
     "standard_caching_miss_cost",
     "up_and_down",

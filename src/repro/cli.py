@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig3 [--scale small|paper|tiny] [--seed N]
     python -m repro run all --scale small --workers 4
     python -m repro quickstart
+    python -m repro scenarios list
+    python -m repro scenarios run perfect-storm [--seed N] [--no-invariants]
 
 Each experiment prints its table (mirroring the paper's layout) followed
 by a PASS/FAIL checklist of the paper's qualitative shape claims.
@@ -147,6 +149,54 @@ def _cmd_quickstart(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios_list(_args: argparse.Namespace) -> int:
+    from repro.scenarios import SCENARIOS
+
+    print("Built-in scenarios (adversarial compositions, invariant-checked):\n")
+    for name, scenario in SCENARIOS.items():
+        hazards = ",".join(sorted(scenario.hazards())) or "none"
+        print(f"  {name:16s} {scenario.description}")
+        print(f"  {'':16s} phases: "
+              f"{', '.join(type(p).__name__ for p in scenario.phases)}"
+              f"  hazards: {hazards}")
+    print("\nRun one with: python -m repro scenarios run <name|all>")
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from repro.invariants import InvariantViolationError
+    from repro.scenarios import SCENARIOS, run_scenario
+
+    names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(SCENARIOS)} or 'all'", file=sys.stderr)
+        return 2
+    status = 0
+    for name in names:
+        started = time.time()
+        try:
+            result = run_scenario(
+                SCENARIOS[name],
+                seed=args.seed,
+                invariants=not args.no_invariants,
+                raise_on_violation=False,
+            )
+        except InvariantViolationError as violation:  # pragma: no cover
+            # raise_on_violation=False collects instead; this guards a
+            # future caller flipping that default.
+            print(f"scenario {name!r} FAILED: {violation}")
+            status = 1
+            continue
+        elapsed = time.time() - started
+        print(result.report())
+        print(f"({name} completed in {elapsed:.1f}s)\n")
+        if not args.no_invariants and not result.ok:
+            status = 1
+    return status
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -195,6 +245,29 @@ def build_parser() -> argparse.ArgumentParser:
         "quickstart", help="tiny CUP vs standard caching comparison"
     )
     quick_parser.set_defaults(fn=_cmd_quickstart)
+
+    scenarios_parser = sub.add_parser(
+        "scenarios", help="adversarial scenario engine"
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+    scen_list = scenarios_sub.add_parser(
+        "list", help="list the built-in scenarios"
+    )
+    scen_list.set_defaults(fn=_cmd_scenarios_list)
+    scen_run = scenarios_sub.add_parser(
+        "run", help="run a scenario with runtime invariants"
+    )
+    scen_run.add_argument(
+        "scenario", help="a scenario name (see 'scenarios list') or 'all'"
+    )
+    scen_run.add_argument("--seed", type=int, default=42)
+    scen_run.add_argument(
+        "--no-invariants", action="store_true",
+        help="run without the runtime invariant checker",
+    )
+    scen_run.set_defaults(fn=_cmd_scenarios_run)
     return parser
 
 

@@ -218,6 +218,43 @@ class KeyState:
         return expired
 
     # ------------------------------------------------------------------
+    # Invariant support
+    # ------------------------------------------------------------------
+
+    def audit_consistency(self) -> List[str]:
+        """Structural self-check; returns problem descriptions (or []).
+
+        Consumed by the runtime invariant checker: these are properties
+        of the data structure itself (indexing, counters, flag/waiter
+        coupling), independent of protocol semantics and of the clock,
+        and must hold at every simulation instant.
+        """
+        problems: List[str] = []
+        for replica_id, entry in self.entries.items():
+            if entry.replica_id != replica_id:
+                problems.append(
+                    f"key {self.key!r}: entry indexed under "
+                    f"{replica_id!r} names replica {entry.replica_id!r}"
+                )
+            if entry.key != self.key:
+                problems.append(
+                    f"key {self.key!r}: cached entry belongs to key "
+                    f"{entry.key!r}"
+                )
+        if self.local_waiters < 0:
+            problems.append(
+                f"key {self.key!r}: negative local waiter count "
+                f"{self.local_waiters}"
+            )
+        # Note: ``waiting <= interest`` is deliberately NOT checked — a
+        # cut-off can race an outstanding coalesced query (the child
+        # clears its bit upstream while the parent still owes it a
+        # response), and the parent's ``waiting`` entry legitimately
+        # outlives the interest bit so the starved-response rescue in
+        # node.py can still answer the querier.
+        return problems
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
@@ -289,6 +326,17 @@ class NodeCache:
         """§2.9: drop departed neighbors from every interest bit vector."""
         for state in self.states.values():
             state.drop_departed_neighbors(alive)
+
+    def audit_consistency(self) -> List[str]:
+        """Structural problems across every key's state (see KeyState)."""
+        problems: List[str] = []
+        for key, state in self.states.items():
+            if state.key != key:
+                problems.append(
+                    f"state for key {state.key!r} indexed under {key!r}"
+                )
+            problems.extend(state.audit_consistency())
+        return problems
 
     def __iter__(self) -> Iterator[KeyState]:
         return iter(self.states.values())

@@ -256,6 +256,18 @@ class OutgoingUpdateChannels:
         expired ones)."""
         return len(self._queues.get(neighbor, ()))
 
+    def pending_counts(self) -> tuple:
+        """``(counter, actual)`` pending totals for invariant audits.
+
+        ``counter`` is the O(1) incremental total the pump relies on;
+        ``actual`` recounts every queue.  They must always agree — a
+        drift means an enqueue/drain path skipped the bookkeeping.
+        """
+        return (
+            self._queued_total,
+            sum(len(queue) for queue in self._queues.values()),
+        )
+
     def _schedule_pump(self) -> None:
         rate = self.capacity.rate
         if rate is None:

@@ -98,6 +98,7 @@ class CupNode:
         "pfu_timeout", "track_justification", "cache", "authority_index",
         "channels", "refresh_aggregation_window", "refresh_sample_fraction",
         "_aggregation_buffers", "_sample_rng", "keepalive_monitor",
+        "invariant_probe",
     )
 
     def __init__(
@@ -150,6 +151,10 @@ class CupNode:
         self._sample_rng = rng
         # Attached by CupNetwork.enable_keepalive(); None otherwise.
         self.keepalive_monitor = None
+        # Attached by CupNetwork.attach_invariants(); None otherwise.
+        # The hot paths pay one attribute load + None test per probe
+        # site, so leaving invariants off costs essentially nothing.
+        self.invariant_probe = None
 
     # ------------------------------------------------------------------
     # Transport entry point
@@ -191,6 +196,8 @@ class CupNode:
         answered = self._process_query(key, from_neighbor=None)
         if answered:
             metrics.local_hits += 1
+        if self.invariant_probe is not None:
+            self.invariant_probe.query_posted(self.node_id, key, answered)
         return answered
 
     def _handle_query(self, message: QueryMessage, sender: NodeId) -> None:
@@ -314,6 +321,9 @@ class CupNode:
 
     def _handle_update(self, update: UpdateMessage, sender: NodeId) -> None:
         now = self._sim.now
+        probe = self.invariant_probe
+        if probe is not None:
+            probe.update_delivered(self.node_id, update, sender)
         # Case 3: the update expired in flight — drop silently.
         if update.is_expired(now):
             self.metrics.updates_dropped_expired += 1
@@ -333,12 +343,15 @@ class CupNode:
         # Maintenance update: apply to the cache first.
         if update_type == UpdateType.DELETE:
             for entry in update.entries:
-                state.remove_entry(entry.replica_id)
+                if state.remove_entry(entry.replica_id) and probe is not None:
+                    probe.entry_removed(self.node_id, key, entry.replica_id)
         else:
             applied = False
             for entry in update.entries:
                 if state.apply_entry(entry):
                     applied = True
+                    if probe is not None:
+                        probe.entry_applied(self.node_id, key, entry)
             if not applied:
                 # A stale or duplicate update (older sequence than cached):
                 # it must not re-trigger cut-off logic or be re-forwarded,
@@ -401,8 +414,10 @@ class CupNode:
         forwards to the next node of the recorded chain; the final node
         is the query's poster.
         """
+        probe = self.invariant_probe
         for entry in update.entries:
-            state.apply_entry(entry)
+            if state.apply_entry(entry) and probe is not None:
+                probe.entry_applied(self.node_id, state.key, entry)
         if self.track_justification:
             self.metrics.justified_updates += 1
         if update.route:
@@ -423,8 +438,10 @@ class CupNode:
         served by the maintenance stream, and broadcasting responses to
         them would double-charge the miss path.
         """
+        probe = self.invariant_probe
         for entry in update.entries:
-            state.apply_entry(entry)
+            if state.apply_entry(entry) and probe is not None:
+                probe.entry_applied(self.node_id, state.key, entry)
         if self.track_justification:
             # First-time updates are always justified (§3.1): they carry
             # a response toward the node that issued the query.
@@ -464,6 +481,10 @@ class CupNode:
                 self._sim.now - state.pending_since
             ) * state.local_waiters
             self.metrics.answer_delay_count += state.local_waiters
+            if self.invariant_probe is not None:
+                self.invariant_probe.waiters_answered(
+                    self.node_id, state.key, state.local_waiters
+                )
             state.local_waiters = 0
 
     def _is_cutoff_trigger(self, state: KeyState, update: UpdateMessage) -> bool:

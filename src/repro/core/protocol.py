@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.core.channels import PRIORITY_PROFILES, CapacityConfig
 from repro.core.node import CupNode
@@ -205,6 +205,8 @@ class CupNetwork:
 
         # Keep-alive machinery (§2.1): off until enable_keepalive().
         self._keepalive_settings = None
+        # Runtime invariant checker: off until attach_invariants().
+        self.invariants = None
         self._crashed: set = set()
         #: (time, reporter, suspect) per completed failure detection.
         self.failure_detections: List[tuple] = []
@@ -284,6 +286,8 @@ class CupNetwork:
         )
         self.nodes[node_id] = node
         self.transport.register(node_id, node)
+        if self.invariants is not None:
+            node.invariant_probe = self.invariants
         return node
 
     def _register_jittered_links(self) -> None:
@@ -391,6 +395,8 @@ class CupNetwork:
         self.workload.begin()
         self.sim.run_until(self.config.sim_end)
         self._refresh_setup_costs()
+        if self.invariants is not None:
+            self.invariants.check_quiescent()
         return self.metrics.summary()
 
     def run_until(self, deadline: float) -> None:
@@ -410,6 +416,60 @@ class CupNetwork:
         node = self.nodes.get(node_id)
         if node is not None:
             node.set_capacity(capacity)
+
+    # ------------------------------------------------------------------
+    # Runtime invariants
+    # ------------------------------------------------------------------
+
+    def attach_invariants(
+        self,
+        hazards: "Iterable[str]" = (),
+        check_interval: Optional[float] = None,
+        raise_immediately: bool = True,
+    ):
+        """Attach a runtime invariant checker to this deployment.
+
+        Wires probes into every node (current and future joiners), a
+        second transport observer for the independent cost tally, and —
+        when ``check_interval`` is given — a periodic structural audit.
+        :meth:`run` finishes with a quiescence check.  The checker is
+        read-only with respect to the simulation: metrics and random
+        streams are untouched, so a checked run's
+        :class:`MetricsSummary` is identical to an unchecked one's.
+
+        ``hazards`` declares the adversities the driving scenario will
+        inject (see :data:`repro.invariants.HAZARDS`) so the checker can
+        relax exactly the properties those adversities legitimately
+        break.  Returns the checker.
+        """
+        from repro.invariants.checker import InvariantChecker
+
+        if self.invariants is not None:
+            raise RuntimeError("an invariant checker is already attached")
+        if check_interval is not None and check_interval <= 0:
+            # Validate before touching any state, so a rejected call
+            # leaves the network re-attachable.
+            raise ValueError(
+                f"check_interval must be positive, got {check_interval}"
+            )
+        checker = InvariantChecker(
+            self, hazards=hazards, raise_immediately=raise_immediately
+        )
+        self.invariants = checker
+        self.transport.add_send_observer(checker.on_send)
+        for node in self.nodes.values():
+            node.invariant_probe = checker
+        if check_interval is not None:
+            self._schedule_invariant_audit(check_interval)
+        return checker
+
+    def _schedule_invariant_audit(self, interval: float) -> None:
+        def tick() -> None:
+            self.invariants.audit_network()
+            if self.sim.now < self.config.sim_end:
+                self.sim.schedule(interval, tick)
+
+        self.sim.schedule(interval, tick)
 
     # ------------------------------------------------------------------
     # Keep-alive failure detection (§2.1)
@@ -465,6 +525,8 @@ class CupNetwork:
         self.transport.unregister(node_id)
         self._crashed.add(node_id)
         self._member_list = [n for n in self._member_list if n != node_id]
+        if self.invariants is not None:
+            self.invariants.on_membership_change("crash", node_id)
         self.tracer.emit(self.sim.now, "churn", event="crash", node=node_id)
 
     def _on_suspected_failure(self, reporter: NodeId, suspect: NodeId) -> None:
@@ -496,6 +558,8 @@ class CupNetwork:
         self._member_list = list(self.nodes)
         if self.config.handover_entries:
             self._reassign_authority_entries()
+        if self.invariants is not None:
+            self.invariants.on_membership_change("join", node_id)
         self.tracer.emit(self.sim.now, "churn", event="join", node=node_id)
         return node
 
@@ -527,6 +591,10 @@ class CupNetwork:
             neighbor = self.nodes.get(neighbor_id)
             if neighbor is not None:
                 neighbor.patch_after_churn(alive)
+        if self.invariants is not None:
+            self.invariants.on_membership_change(
+                "leave" if graceful else "fail", node_id
+            )
         self.tracer.emit(
             self.sim.now, "churn",
             event="leave" if graceful else "fail", node=node_id,

@@ -42,6 +42,7 @@ from repro.core.protocol import CupConfig, CupNetwork
 from repro.experiments import runcache
 from repro.experiments.runner import _cache_key, memo_get, memo_put
 from repro.metrics.collector import MetricsSummary
+from repro.scenarios.dsl import Scenario
 from repro.workload.faults import (
     CapacityFaultSchedule,
     once_down_always_down,
@@ -86,11 +87,26 @@ class FaultSpec:
 
 @dataclasses.dataclass(frozen=True)
 class Cell:
-    """One independent simulation in a sweep."""
+    """One independent simulation in a sweep.
+
+    A cell is either a plain config run, a config plus a declarative
+    §3.7 fault schedule, or a config plus a :class:`Scenario` — the
+    scenario's phases and overrides are applied on top of ``config``
+    (which then acts as the deployment base) by
+    :meth:`Scenario.build_config`.
+    """
 
     label: Hashable
     config: CupConfig
     faults: Optional[FaultSpec] = None
+    scenario: Optional[Scenario] = None
+
+    def __post_init__(self) -> None:
+        if self.faults is not None and self.scenario is not None:
+            raise ValueError(
+                "a cell takes either a fault schedule or a scenario, "
+                "not both (express the faults as a CapacityFault phase)"
+            )
 
 
 def cell_key(cell: Cell) -> tuple:
@@ -98,11 +114,18 @@ def cell_key(cell: Cell) -> tuple:
     key = _cache_key(cell.config)
     if cell.faults is not None:
         key = key + ("faults",) + cell.faults.key()
+    if cell.scenario is not None:
+        key = key + ("scenario",) + cell.scenario.key()
     return key
 
 
 def run_cell(cell: Cell) -> MetricsSummary:
     """Execute one cell from scratch, bypassing every cache layer."""
+    if cell.scenario is not None:
+        scenario = cell.scenario
+        net = CupNetwork(scenario.build_config(base=cell.config))
+        scenario.compile_onto(net)
+        return net.run()
     if cell.faults is None:
         return CupNetwork(cell.config).run()
     spec = cell.faults

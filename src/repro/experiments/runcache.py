@@ -40,6 +40,10 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: editing a table layout must not throw away hours of cached sweeps.
 FINGERPRINTED_PACKAGES = (
     "core", "sim", "workload", "overlay", "replicas", "metrics",
+    # Scenario compilation (phase scheduling, stream wiring, partition
+    # island dealing) shapes scenario-cell results just like the
+    # protocol does — a dsl.py edit must invalidate cached scenarios.
+    "scenarios",
 )
 
 #: Files outside those packages that still shape results —

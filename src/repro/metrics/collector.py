@@ -107,6 +107,46 @@ class MetricsCollector:
         }
 
     # ------------------------------------------------------------------
+    # Invariant support
+    # ------------------------------------------------------------------
+
+    def audit_identities(self) -> list:
+        """The cumulative cost-balance identities as (name, lhs, rhs).
+
+        Consumed by :class:`repro.invariants.checker.InvariantChecker`:
+        each pair must be equal at every simulation instant, because the
+        derived costs are definitions over the raw counters — a mismatch
+        means a counter was bypassed or double-counted.
+        """
+        return [
+            (
+                "miss_cost = query_hops + first_time_update_hops",
+                self.miss_cost,
+                self.query_hops + self.first_time_update_hops,
+            ),
+            (
+                "overhead_cost = maintenance_update_hops + clear_bit_hops",
+                self.overhead_cost,
+                self.maintenance_update_hops + self.clear_bit_hops,
+            ),
+            (
+                "total_cost = miss_cost + overhead_cost",
+                self.total_cost,
+                self.miss_cost + self.overhead_cost,
+            ),
+            (
+                "queries_posted = local_hits + misses",
+                self.queries_posted,
+                self.local_hits + self.misses,
+            ),
+            (
+                "misses = first_time_misses + freshness_misses",
+                self.misses,
+                self.first_time_misses + self.freshness_misses,
+            ),
+        ]
+
+    # ------------------------------------------------------------------
     # Derived quantities (§3.3 definitions)
     # ------------------------------------------------------------------
 

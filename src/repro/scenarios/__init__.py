@@ -1,0 +1,46 @@
+"""Composable adversarial scenarios for CUP simulations.
+
+Assemble timed phases (churn bursts, partitions, flash crowds,
+popularity drift, capacity faults) into a :class:`Scenario`, compile it
+onto a :class:`~repro.core.protocol.CupNetwork`, and run it with
+runtime protocol invariants attached::
+
+    from repro.scenarios import SCENARIOS, run_scenario
+
+    result = run_scenario(SCENARIOS["perfect-storm"], seed=7)
+    assert result.ok
+    print(result.report())
+
+See ``docs/scenarios.md`` for the DSL guide.
+"""
+
+from repro.scenarios.builtin import SCENARIOS
+from repro.scenarios.dsl import (
+    CapacityFault,
+    ChurnBurst,
+    FlashCrowd,
+    Partition,
+    Phase,
+    PopularityDrift,
+    Quiet,
+    Scenario,
+    ScenarioRuntime,
+    default_base_config,
+)
+from repro.scenarios.runner import ScenarioResult, run_scenario
+
+__all__ = [
+    "CapacityFault",
+    "ChurnBurst",
+    "FlashCrowd",
+    "Partition",
+    "Phase",
+    "PopularityDrift",
+    "Quiet",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRuntime",
+    "default_base_config",
+    "run_scenario",
+]

@@ -1,0 +1,122 @@
+"""The built-in scenario library.
+
+Each scenario is a small, fast composition (sub-second with invariants
+enabled) that stresses one adversity the paper discusses — plus one
+that stacks them all.  They run from the CLI (``repro scenarios run``),
+from tests (each has an invariant-checked test), and as experiment
+cells (:class:`repro.experiments.executor.Cell` with ``scenario=``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.scenarios.dsl import (
+    CapacityFault,
+    ChurnBurst,
+    FlashCrowd,
+    Partition,
+    PopularityDrift,
+    Quiet,
+    Scenario,
+)
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> Scenario:
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"duplicate scenario name: {scenario.name!r}")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+STEADY_STATE = _register(Scenario(
+    name="steady-state",
+    description="Benign baseline: plain traffic, every invariant strict.",
+    phases=(Quiet(300.0),),
+))
+
+CHURN_STORM = _register(Scenario(
+    name="churn-storm",
+    description="Two correlated churn bursts (§2.9), the second mostly "
+                "ungraceful, with recovery windows between them.",
+    phases=(
+        Quiet(60.0),
+        ChurnBurst(90.0, rate=0.2),
+        Quiet(60.0),
+        ChurnBurst(90.0, rate=0.3, graceful_fraction=0.2),
+        Quiet(60.0),
+    ),
+))
+
+FLASH_CROWD = _register(Scenario(
+    name="flash-crowd",
+    description="One key captures 85% of queries for two minutes (§2.8); "
+                "appends promoted via the flash-crowd priority profile.",
+    phases=(
+        Quiet(60.0),
+        FlashCrowd(120.0, hot_key_index=3, share=0.85),
+        Quiet(90.0),
+    ),
+    overrides=(
+        ("priority_profile", "flash-crowd"),
+        ("replicas_per_key", 2),
+    ),
+))
+
+PARTITION_HEAL = _register(Scenario(
+    name="partition-heal",
+    description="The overlay splits into two islands for two minutes, "
+                "then heals; queries across the cut are lost and must "
+                "recover via the PFU timeout.",
+    phases=(
+        Quiet(60.0),
+        Partition(120.0, groups=2),
+        Quiet(120.0),
+    ),
+))
+
+CAPACITY_SAG = _register(Scenario(
+    name="capacity-sag",
+    description="Up-and-down capacity faults (§3.7): a quarter of the "
+                "nodes sag to 25% capacity, recover, then a second set "
+                "drops to zero.",
+    phases=(
+        Quiet(60.0),
+        CapacityFault(120.0, fraction=0.25, reduced=0.25),
+        Quiet(60.0),
+        CapacityFault(90.0, fraction=0.25, reduced=0.0),
+        Quiet(60.0),
+    ),
+))
+
+ZIPF_DRIFT = _register(Scenario(
+    name="zipf-drift",
+    description="Zipf workload whose popularity head rotates across four "
+                "keys every minute — yesterday's hot content cools.",
+    phases=(
+        PopularityDrift(240.0, period=60.0, share=0.6, hot_key_count=4),
+        Quiet(60.0),
+    ),
+    overrides=(
+        ("key_distribution", "zipf"),
+        ("total_keys", 16),
+    ),
+))
+
+PERFECT_STORM = _register(Scenario(
+    name="perfect-storm",
+    description="Every stressor back to back: capacity sag, flash crowd, "
+                "partition, churn burst, popularity drift — with barely "
+                "any recovery time between them.",
+    phases=(
+        Quiet(60.0),
+        CapacityFault(90.0, fraction=0.2, reduced=0.25),
+        FlashCrowd(60.0, hot_key_index=1, share=0.7),
+        Partition(90.0, groups=2),
+        ChurnBurst(90.0, rate=0.15),
+        PopularityDrift(90.0, period=30.0, share=0.5, hot_key_count=3),
+        Quiet(90.0),
+    ),
+))

@@ -1,0 +1,435 @@
+"""A composable scenario DSL for adversarial CUP runs.
+
+A :class:`Scenario` is a named sequence of timed :class:`Phase`\\ s laid
+over the query window of a :class:`~repro.core.protocol.CupNetwork`.
+Each phase contributes one stressor for its duration:
+
+* :class:`Quiet` — no stressor (warm-up, recovery, referee segments);
+* :class:`ChurnBurst` — a correlated burst of Poisson membership churn
+  (§2.9);
+* :class:`Partition` — the overlay splits into islands that cannot
+  exchange messages, then heals when the phase ends (uses the
+  transport's drop-rule layer);
+* :class:`FlashCrowd` — a single key suddenly captures a share of all
+  queries (§2.8's flash-crowd motivation);
+* :class:`PopularityDrift` — the hot spot rotates across keys,
+  modelling Zipf-head drift;
+* :class:`CapacityFault` — a random node subset degrades to reduced
+  update capacity (§3.7), restored when the phase ends.
+
+Phases are frozen dataclasses, so scenarios are hashable, picklable and
+usable as part of an experiment cell's cache key.  Compilation
+(:meth:`Scenario.compile_onto`) schedules every stressor on the
+network's simulator and wires the workload's key selector; it never
+draws from the workload's random streams, so a scenario run with the
+scenario's stressors disabled is draw-for-draw the plain run.
+
+Every phase also declares the invariant *hazards* it introduces (see
+:mod:`repro.invariants`), so the scenario runner can attach a checker
+that relaxes exactly the properties this composition legitimately
+breaks — and nothing more.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ClassVar,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.core.protocol import CupConfig
+from repro.workload.churn import ChurnSchedule
+from repro.workload.faults import CapacityFaultSchedule
+from repro.workload.keyspace import FlashCrowdKeys, KeySelector, RotatingHotKeys
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.protocol import CupNetwork
+
+
+# ----------------------------------------------------------------------
+# Phases
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Phase:
+    """One timed segment of a scenario.  Subclasses add stressors."""
+
+    duration: float
+
+    #: Invariant hazards this phase introduces (subclasses override).
+    #: A ClassVar, not a field: it is a property of the phase *type*
+    #: and must stay out of cache keys and comparisons.
+    hazards: ClassVar[FrozenSet[str]] = frozenset()
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(
+                f"{type(self).__name__}: duration must be positive, "
+                f"got {self.duration}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class Quiet(Phase):
+    """No stressor: plain traffic (warm-up / recovery segments)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnBurst(Phase):
+    """Correlated membership churn at ``rate`` events/second (§2.9)."""
+
+    rate: float = 0.1
+    join_fraction: float = 0.5
+    graceful_fraction: float = 0.5
+    hazards = frozenset({"churn"})
+
+    def validate(self) -> None:
+        super().validate()
+        if self.rate <= 0:
+            raise ValueError(f"ChurnBurst: rate must be positive, got {self.rate}")
+        for name in ("join_fraction", "graceful_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"ChurnBurst: {name} must be in [0, 1], got {value}"
+                )
+
+
+@dataclasses.dataclass(frozen=True)
+class Partition(Phase):
+    """The overlay splits into ``groups`` islands, healing at phase end.
+
+    Islands are deterministic: live members sorted by id are dealt
+    round-robin at cut time.  Messages crossing islands are lost in
+    transit (hop cost still charged); nodes that join mid-partition
+    belong to no island and communicate freely.
+    """
+
+    groups: int = 2
+    hazards = frozenset({"partition"})
+
+    def validate(self) -> None:
+        super().validate()
+        if self.groups < 2:
+            raise ValueError(
+                f"Partition: need at least 2 groups, got {self.groups}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class FlashCrowd(Phase):
+    """One key captures ``share`` of all queries for the phase (§2.8)."""
+
+    hot_key_index: int = 0
+    share: float = 0.8
+
+    def validate(self) -> None:
+        super().validate()
+        if not 0.0 <= self.share <= 1.0:
+            raise ValueError(
+                f"FlashCrowd: share must be in [0, 1], got {self.share}"
+            )
+        if self.hot_key_index < 0:
+            raise ValueError(
+                f"FlashCrowd: hot_key_index must be >= 0, "
+                f"got {self.hot_key_index}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class PopularityDrift(Phase):
+    """The popularity head rotates through ``hot_key_count`` keys."""
+
+    period: float = 60.0
+    share: float = 0.6
+    hot_key_count: int = 4
+
+    def validate(self) -> None:
+        super().validate()
+        if self.period <= 0:
+            raise ValueError(
+                f"PopularityDrift: period must be positive, got {self.period}"
+            )
+        if not 0.0 <= self.share <= 1.0:
+            raise ValueError(
+                f"PopularityDrift: share must be in [0, 1], got {self.share}"
+            )
+        if self.hot_key_count < 1:
+            raise ValueError(
+                f"PopularityDrift: hot_key_count must be >= 1, "
+                f"got {self.hot_key_count}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class CapacityFault(Phase):
+    """A random ``fraction`` of nodes degrades to ``reduced`` capacity
+    for the phase, then recovers (§3.7's Up-And-Down episode shape)."""
+
+    fraction: float = 0.2
+    reduced: float = 0.25
+    hazards = frozenset({"capacity"})
+
+    def validate(self) -> None:
+        super().validate()
+        for name in ("fraction", "reduced"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"CapacityFault: {name} must be in [0, 1], got {value}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A named, hashable composition of phases plus config overrides.
+
+    ``overrides`` is a tuple of ``(CupConfig field, value)`` pairs so
+    the scenario stays hashable; :meth:`build_config` applies them and
+    pins ``query_duration`` to the total phase time — phases tile the
+    query window exactly.
+    """
+
+    name: str
+    description: str
+    phases: Tuple[Phase, ...]
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError(f"scenario {self.name!r} has no phases")
+        for phase in self.phases:
+            phase.validate()
+        names = [field for field, _ in self.overrides]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"scenario {self.name!r} has duplicate overrides"
+            )
+
+    # -- derived properties --------------------------------------------
+
+    @property
+    def total_duration(self) -> float:
+        return sum(phase.duration for phase in self.phases)
+
+    def hazards(self) -> FrozenSet[str]:
+        """Union of every phase's invariant hazards."""
+        result: FrozenSet[str] = frozenset()
+        for phase in self.phases:
+            result |= phase.hazards
+        return result
+
+    def key(self) -> tuple:
+        """Stable identity tuple (used in experiment-cell cache keys)."""
+        return (
+            self.name,
+            tuple(
+                (type(phase).__name__,) + dataclasses.astuple(phase)
+                for phase in self.phases
+            ),
+            self.overrides,
+        )
+
+    # -- config --------------------------------------------------------
+
+    def build_config(self, base: Optional[CupConfig] = None, **extra) -> CupConfig:
+        """The scenario's concrete :class:`CupConfig`.
+
+        Starts from ``base`` (or the module default), applies the
+        scenario's overrides, then ``extra`` (e.g. a seed), and finally
+        pins the query window to the phase schedule.
+        """
+        config = base if base is not None else default_base_config()
+        if self.overrides:
+            config = config.variant(**dict(self.overrides))
+        if extra:
+            config = config.variant(**extra)
+        return config.variant(query_duration=self.total_duration)
+
+    # -- compilation ---------------------------------------------------
+
+    def compile_onto(self, network: "CupNetwork") -> "ScenarioRuntime":
+        """Schedule every phase's stressors onto a wired network.
+
+        Must be called before :meth:`CupNetwork.run` (it attaches the
+        workload when any phase shapes the key distribution).  Returns
+        the runtime handle holding the scenario event log.
+        """
+        runtime = ScenarioRuntime(self, network)
+        runtime._compile()
+        return runtime
+
+
+def default_base_config() -> CupConfig:
+    """The compact deployment the built-in scenarios run on.
+
+    Small enough that a full scenario (with invariants on) finishes in
+    well under a second, big enough that propagation trees have real
+    depth.
+    """
+    return CupConfig(
+        num_nodes=32,
+        total_keys=8,
+        query_rate=4.0,
+        entry_lifetime=60.0,
+        query_start=120.0,
+        drain=90.0,
+        gc_interval=60.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Runtime (compiled scenario)
+# ----------------------------------------------------------------------
+
+
+class ScenarioRuntime:
+    """A scenario bound to one network: scheduled stressors + event log."""
+
+    def __init__(self, scenario: Scenario, network: "CupNetwork"):
+        self.scenario = scenario
+        self.network = network
+        #: (time, description) narration of every stressor transition.
+        self.events: List[Tuple[float, str]] = []
+        self._churn: Optional[ChurnSchedule] = None
+        self._active_partitions: Dict[int, int] = {}
+
+    # -- helpers -------------------------------------------------------
+
+    def _log(self, text: str) -> None:
+        self.events.append((self.network.sim.now, text))
+
+    def _churn_schedule(self) -> ChurnSchedule:
+        if self._churn is None:
+            self._churn = ChurnSchedule(self.network.sim, self.network)
+        return self._churn
+
+    # -- compilation ---------------------------------------------------
+
+    def _compile(self) -> None:
+        network = self.network
+        start = network.config.query_start
+        selector: Optional[KeySelector] = None
+        needs_selector = any(
+            isinstance(p, (FlashCrowd, PopularityDrift))
+            for p in self.scenario.phases
+        )
+        if needs_selector:
+            selector = network._default_key_selector()
+            selector_rng = network.streams.get("scenario-keys")
+
+        t = start
+        for index, phase in enumerate(self.scenario.phases):
+            end = t + phase.duration
+            if isinstance(phase, ChurnBurst):
+                self._compile_churn(phase, t, end)
+            elif isinstance(phase, Partition):
+                self._compile_partition(phase, index, t, end)
+            elif isinstance(phase, CapacityFault):
+                self._compile_capacity(phase, t, end)
+            elif isinstance(phase, FlashCrowd):
+                selector = FlashCrowdKeys(
+                    selector, self._hot_key(phase.hot_key_index),
+                    start=t, end=end, hot_share=phase.share,
+                    rng=selector_rng,
+                )
+            elif isinstance(phase, PopularityDrift):
+                count = min(phase.hot_key_count, len(network.keys))
+                selector = RotatingHotKeys(
+                    selector, network.keys[:count],
+                    start=t, end=end, period=phase.period,
+                    hot_share=phase.share, rng=selector_rng,
+                )
+            t = end
+
+        if selector is not None:
+            network.attach_workload(key_selector=selector)
+
+    def _hot_key(self, index: int) -> str:
+        keys = self.network.keys
+        return keys[index % len(keys)]
+
+    def _compile_churn(self, phase: ChurnBurst, start: float, end: float) -> None:
+        network = self.network
+        schedule = self._churn_schedule()
+        count = schedule.poisson(
+            rate=phase.rate, start=start, end=end,
+            rng=network.streams.get("scenario-churn"),
+            join_fraction=phase.join_fraction,
+            graceful_fraction=phase.graceful_fraction,
+        )
+        network.sim.schedule_at(
+            start, self._log, f"churn burst begins ({count} events scheduled)"
+        )
+        network.sim.schedule_at(end, self._log, "churn burst ends")
+
+    def _compile_partition(
+        self, phase: Partition, index: int, start: float, end: float
+    ) -> None:
+        network = self.network
+
+        def cut() -> None:
+            members = sorted(network.live_node_ids(), key=str)
+            islands = [members[i::phase.groups] for i in range(phase.groups)]
+            rule_id = network.transport.partition(islands)
+            self._active_partitions[index] = rule_id
+            sizes = "/".join(str(len(island)) for island in islands)
+            self._log(f"partition cut into {phase.groups} islands ({sizes})")
+
+        def heal() -> None:
+            rule_id = self._active_partitions.pop(index, None)
+            if rule_id is not None:
+                network.transport.remove_drop_rule(rule_id)
+            self._log("partition healed")
+
+        network.sim.schedule_at(start, cut)
+        network.sim.schedule_at(end, heal)
+
+    def _compile_capacity(
+        self, phase: CapacityFault, start: float, end: float
+    ) -> None:
+        network = self.network
+        state: Dict[str, CapacityFaultSchedule] = {}
+
+        def degrade() -> None:
+            schedule = CapacityFaultSchedule(
+                network.sim,
+                network.live_node_ids(),
+                network.set_node_capacity,
+                fraction=phase.fraction,
+                reduced=phase.reduced,
+                rng=network.streams.get("scenario-faults"),
+            )
+            state["schedule"] = schedule
+            schedule.degrade()
+            self._log(
+                f"capacity fault: {len(schedule.currently_degraded)} nodes "
+                f"at {phase.reduced:.0%}"
+            )
+
+        def restore() -> None:
+            schedule = state.pop("schedule", None)
+            if schedule is not None:
+                schedule.restore()
+                self._log("capacity restored")
+
+        network.sim.schedule_at(start, degrade)
+        network.sim.schedule_at(end, restore)
+
+    # -- introspection -------------------------------------------------
+
+    def narration(self) -> str:
+        return "\n".join(f"  t={t:8.1f}  {text}" for t, text in self.events)

@@ -1,0 +1,114 @@
+"""Execute scenarios with runtime invariants attached.
+
+:func:`run_scenario` is the one-stop entry point: build the config,
+wire the network, attach an :class:`~repro.invariants.InvariantChecker`
+relaxed exactly per the scenario's declared hazards, compile the
+phases, run, and return a :class:`ScenarioResult` carrying the metrics,
+the invariant verdict and the stressor narration.
+
+The checker is read-only, so a scenario's :class:`MetricsSummary` is
+identical whether invariants are on or off — which is what lets the
+differential-oracle tests compare invariant-checked runs against plain
+executor cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.core.protocol import CupConfig, CupNetwork
+from repro.invariants.checker import InvariantChecker
+from repro.metrics.collector import MetricsSummary
+from repro.scenarios.dsl import Scenario
+
+
+@dataclasses.dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    config: CupConfig
+    summary: MetricsSummary
+    checker: Optional[InvariantChecker]
+    events: List[Tuple[float, str]]
+    network: CupNetwork
+
+    @property
+    def ok(self) -> bool:
+        """True when invariants were checked and none was violated."""
+        return self.checker is not None and self.checker.ok
+
+    def report(self) -> str:
+        scenario = self.scenario
+        summary = self.summary
+        lines = [
+            f"scenario {scenario.name!r}: {scenario.description}",
+            f"  phases: {', '.join(type(p).__name__ for p in scenario.phases)}"
+            f" ({scenario.total_duration:.0f}s query window)",
+        ]
+        for time, text in self.events:
+            lines.append(f"  t={time:8.1f}  {text}")
+        lines.append(
+            f"  queries={summary.queries_posted}  "
+            f"miss_cost={summary.miss_cost}  "
+            f"overhead={summary.overhead_cost}  "
+            f"total={summary.total_cost}  "
+            f"answered={summary.answers_delivered}"
+        )
+        if self.checker is None:
+            lines.append("  invariants: not checked")
+        else:
+            lines.append("  " + self.checker.report().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def run_scenario(
+    scenario: Scenario,
+    seed: int = 42,
+    base_config: Optional[CupConfig] = None,
+    invariants: bool = True,
+    raise_on_violation: bool = True,
+    check_interval: Optional[float] = 30.0,
+    extra_hazards: Tuple[str, ...] = (),
+) -> ScenarioResult:
+    """Run one scenario end to end.
+
+    Parameters
+    ----------
+    scenario:
+        The composition to run (built-in or hand-assembled).
+    seed, base_config:
+        Deployment inputs; the scenario's overrides and phase schedule
+        are applied on top (see :meth:`Scenario.build_config`).
+    invariants:
+        Attach the runtime checker (with the scenario's hazards, plus
+        ``extra_hazards``) and verify quiescence after the run.
+    raise_on_violation:
+        When True, the first violation raises
+        :class:`~repro.invariants.InvariantViolationError` from inside
+        the offending event; when False, violations accumulate on the
+        result's checker.
+    check_interval:
+        Simulated seconds between periodic structural audits (``None``
+        disables the periodic sweep; the quiescence check still runs).
+    """
+    config = scenario.build_config(base=base_config, seed=seed)
+    network = CupNetwork(config)
+    checker = None
+    if invariants:
+        checker = network.attach_invariants(
+            hazards=scenario.hazards() | frozenset(extra_hazards),
+            check_interval=check_interval,
+            raise_immediately=raise_on_violation,
+        )
+    runtime = scenario.compile_onto(network)
+    summary = network.run()
+    return ScenarioResult(
+        scenario=scenario,
+        config=config,
+        summary=summary,
+        checker=checker,
+        events=list(runtime.events),
+        network=network,
+    )

@@ -13,12 +13,17 @@ not overlay traffic and is not measured by the paper's cost model; it uses
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Tuple
 
 from repro.sim.engine import Simulator
 
 NodeId = Any
 SendObserver = Callable[[NodeId, NodeId, "Message"], None]
+#: A drop rule sees every overlay-hop send and returns True to lose the
+#: message in transit (the hop cost is still charged — bandwidth was
+#: spent pushing bits into a dead link).
+DropRule = Callable[[NodeId, NodeId, "Message"], bool]
 
 
 class Message:
@@ -101,9 +106,17 @@ class Transport:
         # dict probe — no Link construction, no canonicalization.
         self._delays: Dict[Tuple[NodeId, NodeId], float] = {}
         self._send_observers: List[SendObserver] = []
+        # Drop/heal rule layer (partitions, lossy links): rules are
+        # consulted on every overlay-hop send while any is installed;
+        # the registry is empty in the common case so the hot path pays
+        # a single truthiness check.
+        self._drop_rules: Dict[int, DropRule] = {}
+        self._rule_ids = itertools.count()
         self.sent = 0
+        self.sent_direct = 0
         self.delivered = 0
         self.dropped = 0
+        self.blocked = 0
 
     # ------------------------------------------------------------------
     # Topology management
@@ -143,6 +156,53 @@ class Transport:
         return delay if delay is not None else self.default_delay
 
     # ------------------------------------------------------------------
+    # Drop/heal rules (partitions, lossy links)
+    # ------------------------------------------------------------------
+
+    def add_drop_rule(self, rule: DropRule) -> int:
+        """Install a rule that can lose overlay sends in transit.
+
+        Returns a handle for :meth:`remove_drop_rule`.  A blocked send is
+        still charged its hop cost (observers fire before rules run);
+        delivery is simply never scheduled, and :attr:`blocked` counts
+        it.  Off-overlay control traffic (:meth:`send_direct`) is not
+        subject to rules — it models out-of-band replica communication.
+        """
+        rule_id = next(self._rule_ids)
+        self._drop_rules[rule_id] = rule
+        return rule_id
+
+    def remove_drop_rule(self, rule_id: int) -> None:
+        """Heal: retire one rule.  Unknown ids are ignored (idempotent)."""
+        self._drop_rules.pop(rule_id, None)
+
+    def partition(self, groups: Iterable[Iterable[NodeId]]) -> int:
+        """Install a network partition; returns the rule handle.
+
+        ``groups`` are disjoint node sets; a send is blocked iff its two
+        endpoints belong to *different* groups.  Nodes in no group (e.g.
+        ones that join mid-partition) communicate freely with everyone —
+        a partition severs established islands, it does not quarantine
+        newcomers.  Heal with :meth:`remove_drop_rule`.
+        """
+        side: Dict[NodeId, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                if side.get(node_id, index) != index:
+                    raise ValueError(
+                        f"node {node_id!r} appears in more than one "
+                        "partition group"
+                    )
+                side[node_id] = index
+
+        def crosses(src: NodeId, dst: NodeId, message: Message) -> bool:
+            a = side.get(src)
+            b = side.get(dst)
+            return a is not None and b is not None and a != b
+
+        return self.add_drop_rule(crosses)
+
+    # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
 
@@ -177,6 +237,11 @@ class Transport:
             else:
                 for observer in observers:
                     observer(src, dst, message)
+        if self._drop_rules:
+            for rule in self._drop_rules.values():
+                if rule(src, dst, message):
+                    self.blocked += 1
+                    return
         delay = self._delays.get((src, dst))
         if delay is None:
             delay = self.default_delay
@@ -189,6 +254,7 @@ class Transport:
         Not counted as overlay hops and invisible to send observers, per
         the paper's cost model (§3.1 counts only query/update path hops).
         """
+        self.sent_direct += 1
         self._sim.schedule(delay, self._deliver, src, dst, message)
 
     def _deliver(self, src: NodeId, dst: NodeId, message: Message) -> None:

@@ -119,3 +119,51 @@ class FlashCrowdKeys(KeySelector):
         if self.start <= now < self.end and self._rng.random() < self.hot_share:
             return self.hot_key
         return self._base.select(now)
+
+
+class RotatingHotKeys(KeySelector):
+    """Popularity drift: the hot spot moves across keys over time.
+
+    Inside ``[start, end)`` each query targets the currently hot key
+    with probability ``hot_share``; the hot key rotates through
+    ``hot_keys`` every ``period`` seconds, modelling the drift of a
+    Zipf head (yesterday's hot content cools while new content heats
+    up).  Outside the window — and for the cold share inside it —
+    selection falls through to the base selector.
+    """
+
+    def __init__(
+        self,
+        base: KeySelector,
+        hot_keys: Sequence[str],
+        start: float,
+        end: float,
+        period: float,
+        hot_share: float,
+        rng: np.random.Generator,
+    ):
+        if not hot_keys:
+            raise ValueError("need at least one hot key to rotate through")
+        if not 0.0 <= hot_share <= 1.0:
+            raise ValueError(f"hot_share must be in [0, 1], got {hot_share}")
+        if end <= start:
+            raise ValueError(f"empty drift window: [{start}, {end})")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._base = base
+        self.hot_keys = list(hot_keys)
+        self.start = start
+        self.end = end
+        self.period = period
+        self.hot_share = hot_share
+        self._rng = rng
+
+    def hot_key_at(self, now: float) -> str:
+        """The key holding the popularity head at time ``now``."""
+        slot = int((now - self.start) / self.period)
+        return self.hot_keys[slot % len(self.hot_keys)]
+
+    def select(self, now: float) -> str:
+        if self.start <= now < self.end and self._rng.random() < self.hot_share:
+            return self.hot_key_at(now)
+        return self._base.select(now)

@@ -1,0 +1,183 @@
+"""Characterization pins for the two divergences documented in the
+PR-2 hot-path overhaul (see docs/performance.md, "Two documented
+divergences").
+
+Both are deterministic (same seed ⇒ same result) but intentionally not
+draw-for-draw replays of the pre-overhaul scalar code.  These tests pin
+the *exact current semantics* so future engine work cannot silently
+widen either divergence:
+
+1. **Churn runs** — block-buffered node selection starts a fresh buffer
+   when churn changes the membership count, discarding the pre-drawn
+   remainder of the old block.
+2. **Rate-limited cells with in-queue expiry** — the pump picks the
+   longest queue by *raw* length (expired updates inflate the backlog
+   until they surface at the head), and ``expired_in_queue`` counts
+   lazily at surfacing time, not eagerly.
+"""
+
+import numpy as np
+
+from repro.core.channels import CapacityConfig, OutgoingUpdateChannels
+from repro.core.entry import IndexEntry
+from repro.core.messages import UpdateMessage, UpdateType
+from repro.core.protocol import CupConfig, CupNetwork
+from repro.sim.engine import Simulator
+from repro.sim.random import BufferedIntegers
+from repro.workload.churn import ChurnSchedule
+from repro.workload.generator import uniform_node_selector
+
+
+class TestChurnRunDivergence:
+    """Divergence 1: fresh buffer on membership-count change."""
+
+    def test_stable_membership_matches_scalar_draws(self):
+        """No churn ⇒ bit-identical to pre-overhaul scalar selection."""
+        members = [f"n{i}" for i in range(7)]
+        select = uniform_node_selector(
+            lambda: members, np.random.default_rng(42)
+        )
+        picks = [select(0.0) for _ in range(50)]
+        reference_rng = np.random.default_rng(42)
+        expected = [
+            members[int(reference_rng.integers(len(members)))]
+            for _ in range(50)
+        ]
+        assert picks == expected
+
+    def test_membership_change_starts_a_fresh_buffer(self):
+        """The pre-drawn block remainder is DISCARDED at a size change.
+
+        This is the exact churn-run divergence: the selector continues
+        from a brand-new block drawn off the shared generator (which
+        has already consumed the old block), not from the next scalar
+        draw a pre-overhaul run would have made.
+        """
+        members = [f"n{i}" for i in range(5)]
+        select = uniform_node_selector(
+            lambda: members, np.random.default_rng(7)
+        )
+        before = [select(0.0) for _ in range(3)]
+        members.append("n5")  # churn: membership count changes
+        after = [select(0.0) for _ in range(5)]
+
+        # Reference replay of the documented semantics.
+        replay_rng = np.random.default_rng(7)
+        old_buffer = BufferedIntegers(replay_rng, 5)
+        assert before == [f"n{old_buffer.next()}" for _ in range(3)]
+        # ...remainder of old_buffer's block is dropped; a fresh buffer
+        # (new bound) continues from the generator's advanced state.
+        new_members = members
+        new_buffer = BufferedIntegers(replay_rng, 6)
+        assert after == [new_members[new_buffer.next()] for _ in range(5)]
+
+        # And the divergence is real: scalar continuation would differ.
+        scalar_rng = np.random.default_rng(7)
+        for _ in range(3):
+            scalar_rng.integers(5)
+        scalar_after = [
+            new_members[int(scalar_rng.integers(6))] for _ in range(5)
+        ]
+        assert after != scalar_after
+
+    def test_churn_cell_is_run_twice_deterministic(self):
+        """Same seed ⇒ identical summary AND identical event count."""
+
+        def run_once():
+            config = CupConfig(
+                num_nodes=16, total_keys=4, query_rate=3.0, seed=13,
+                entry_lifetime=40.0, query_start=60.0,
+                query_duration=120.0, drain=60.0,
+            )
+            net = CupNetwork(config)
+            churn = ChurnSchedule(net.sim, net)
+            churn.poisson(
+                rate=0.1, start=60.0, end=180.0,
+                rng=net.streams.get("churn"),
+            )
+            summary = net.run()
+            return summary, net.sim.events_processed, list(churn.log)
+
+        first = run_once()
+        second = run_once()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+        assert first[2] == second[2]
+
+
+def entry(key, rid, lifetime, timestamp, seq=1):
+    return IndexEntry(
+        key=key, replica_id=rid, address=f"addr://{key}/{rid}",
+        lifetime=lifetime, timestamp=timestamp, sequence=seq,
+    )
+
+
+def refresh(key, rid, lifetime, timestamp, seq=1):
+    return UpdateMessage(
+        key=key, update_type=UpdateType.REFRESH,
+        entries=(entry(key, rid, lifetime, timestamp, seq),),
+        replica_id=rid, issued_at=timestamp,
+    )
+
+
+class TestInQueueExpiryDivergence:
+    """Divergence 2: raw-length queue selection + lazy expiry counting."""
+
+    def build(self, rate=1.0):
+        sim = Simulator()
+        sent = []
+        channels = OutgoingUpdateChannels(
+            sim, lambda neighbor, update: sent.append(neighbor),
+            capacity=CapacityConfig(rate=rate),
+        )
+        return sim, sent, channels
+
+    def test_pump_serves_longest_raw_queue_including_expired(self):
+        """A mostly-dead backlog still wins queue selection.
+
+        Queue A holds 3 updates of which 2 will be expired by pump
+        time; queue B holds 2 live ones.  Raw length 3 > 2, so the pump
+        serves A first — the pre-overhaul code purged every queue before
+        selecting and would have served B (1 vs 2).  The two dead
+        updates surface (and are counted) during that same tick.
+        """
+        sim, sent, channels = self.build(rate=1.0)
+        # Two short-lived refreshes + one long-lived one toward A.
+        channels.push("A", refresh("k", "r0", lifetime=0.4, timestamp=0.0))
+        channels.push("A", refresh("k", "r1", lifetime=0.4, timestamp=0.0))
+        channels.push("A", refresh("k", "r2", lifetime=90.0, timestamp=0.0))
+        # Two live refreshes toward B.
+        channels.push("B", refresh("k", "r3", lifetime=90.0, timestamp=0.0))
+        channels.push("B", refresh("k", "r4", lifetime=90.0, timestamp=0.0))
+        assert channels.queue_length("A") == 3
+        assert channels.expired_in_queue == 0
+
+        sim.run_until(1.0)  # exactly one pump tick at t=1.0 (rate=1)
+        assert sent == ["A"]
+        # Lazy elimination: the two expired updates were counted only
+        # when they surfaced at A's head during this tick.
+        assert channels.expired_in_queue == 2
+        assert channels.queue_length("A") == 0
+
+    def test_expired_updates_count_lazily_not_eagerly(self):
+        """Expiry in queue is invisible until the update surfaces."""
+        sim, sent, channels = self.build(rate=0.25)  # tick every 4 s
+        channels.push("A", refresh("k", "r0", lifetime=1.0, timestamp=0.0))
+        channels.push("A", refresh("k", "r1", lifetime=90.0, timestamp=0.0))
+        # Both queued; r0 expires at t=1 but nothing notices yet.
+        sim.run_until(2.0)
+        assert channels.expired_in_queue == 0
+        assert channels.queue_length("A") == 2
+        # First tick at t=4: r0 surfaces dead (counted), r1 is sent.
+        sim.run_until(4.0)
+        assert channels.expired_in_queue == 1
+        assert sent == ["A"]
+        assert channels.queue_length("A") == 0
+
+    def test_pending_counter_stays_exact_through_lazy_expiry(self):
+        sim, sent, channels = self.build(rate=1.0)
+        channels.push("A", refresh("k", "r0", lifetime=0.4, timestamp=0.0))
+        channels.push("B", refresh("k", "r1", lifetime=90.0, timestamp=0.0))
+        sim.run_until(3.0)
+        counter, actual = channels.pending_counts()
+        assert counter == actual == 0

@@ -43,3 +43,39 @@ class TestRunExperiment:
         out = capsys.readouterr().out
         assert "Table 3" in out
         assert status == 0
+
+
+class TestScenariosCommands:
+    def test_scenarios_list(self, capsys):
+        from repro.scenarios import SCENARIOS
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_scenarios_run_one(self, capsys):
+        assert main(["scenarios", "run", "steady-state", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "steady-state" in out
+        assert "invariants: OK" in out
+
+    def test_scenarios_run_without_invariants(self, capsys):
+        status = main(
+            ["scenarios", "run", "flash-crowd", "--no-invariants"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "invariants: not checked" in out
+
+    def test_scenarios_run_unknown(self, capsys):
+        assert main(["scenarios", "run", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_scenarios_run_all(self, capsys):
+        from repro.scenarios import SCENARIOS
+
+        assert main(["scenarios", "run", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert f"scenario {name!r}" in out

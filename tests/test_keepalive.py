@@ -195,3 +195,104 @@ class TestNetworkIntegration:
         net.run_until(20.0)
         node = net.join_node("late")
         assert node.keepalive_monitor is not None
+
+
+class TestTimeoutEdgeCases:
+    """Satellite of the scenario-engine PR: deadline boundary + heal."""
+
+    def silent_peer_monitor(self, period=10.0, miss_threshold=3):
+        sim = Simulator()
+        net = Transport(sim, default_delay=0.01)
+        probe = Probe()
+        monitor = KeepAliveMonitor(
+            sim, net, "watcher", lambda: ["peer"],
+            period=period, miss_threshold=miss_threshold, on_suspect=probe,
+        )
+        net.register("watcher", type("W", (), {"receive": lambda *a: None})())
+        return sim, net, probe, monitor
+
+    def test_expiry_exactly_at_deadline_is_not_a_miss(self):
+        """Silence of exactly period*miss_threshold does NOT suspect.
+
+        The comparison is strict (``now - last > deadline``): the tick
+        landing exactly on the deadline gives the neighbor its full
+        grace; suspicion fires one period later.
+        """
+        sim, net, probe, monitor = self.silent_peer_monitor(
+            period=10.0, miss_threshold=3
+        )
+        monitor.start()  # last_heard["peer"] = 0.0
+        sim.run_until(30.0)  # ticks at 10, 20, 30; 30 - 0 == deadline
+        assert probe.suspects == []
+        assert monitor.suspected == set()
+        sim.run_until(40.0)  # 40 - 0 > 30: first strictly-late tick
+        assert probe.suspects == [("watcher", "peer")]
+
+    def test_renewal_exactly_at_deadline_resets_the_clock(self):
+        sim, net, probe, monitor = self.silent_peer_monitor(
+            period=10.0, miss_threshold=2
+        )
+        monitor.start()
+        sim.run_until(15.0)
+        monitor.note_heard("peer")  # heard at t=15
+        sim.run_until(35.0)  # ticks at 20, 30: 35-15 but checks are 20/30
+        assert probe.suspects == []
+        sim.run_until(40.0)  # tick at 40: 40 - 15 > 20 -> suspected
+        assert probe.suspects == [("watcher", "peer")]
+
+    def test_renewal_after_partition_heal(self):
+        """A partitioned-off peer is suspected, then cleared on heal.
+
+        Uses the transport's drop-rule layer: heartbeats cross the cut
+        in neither direction, the monitor suspects, the partition heals,
+        the next exchange proves the peer alive again, and the
+        suspicion is re-armed (a fresh silence re-raises it).
+        """
+        sim = Simulator()
+        net = Transport(sim, default_delay=0.01)
+        probe = Probe()
+        monitor = KeepAliveMonitor(
+            sim, net, "watcher", lambda: ["peer"],
+            period=10.0, miss_threshold=2, on_suspect=probe,
+        )
+        echo = Echo(sim, net, "peer")
+        net.register("peer", echo)
+
+        class Watcher:
+            def receive(self, message, sender):
+                monitor.note_heard(sender)
+
+        net.register("watcher", Watcher())
+        monitor.start()
+        sim.run_until(15.0)
+        assert monitor.suspected == set()
+
+        rule_id = net.partition([["watcher"], ["peer"]])
+        sim.run_until(50.0)
+        assert monitor.suspected == {"peer"}
+        assert monitor.suspicions_raised == 1
+        assert net.blocked > 0
+
+        net.remove_drop_rule(rule_id)
+        sim.run_until(70.0)  # next beat gets echoed back across the heal
+        assert monitor.suspected == set()
+
+        # Re-armed: a second partition raises a second suspicion.
+        net.partition([["watcher"], ["peer"]])
+        sim.run_until(120.0)
+        assert monitor.suspected == {"peer"}
+        assert monitor.suspicions_raised == 2
+
+    def test_network_survives_partition_false_alarm(self):
+        """Integration: suspicion of a live (partitioned) node must not
+        evict it — only genuinely crashed nodes complete the failure."""
+        net = make_network()
+        net.enable_keepalive(period=5.0, miss_threshold=2)
+        net.run_until(50.0)
+        members = sorted(net.nodes, key=str)
+        rule_id = net.transport.partition([members[:8], members[8:]])
+        net.run_until(120.0)
+        net.transport.remove_drop_rule(rule_id)
+        net.run_until(200.0)
+        assert net.failure_detections == []
+        assert len(net.nodes) == 16

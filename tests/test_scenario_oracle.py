@@ -1,0 +1,149 @@
+"""Differential-oracle harness: hypothesis-driven scenario fuzzing.
+
+Generates random scenario compositions (phases, parameters, seeds) and
+checks three oracles on every one:
+
+(a) **invariant oracle** — the runtime checker, relaxed only per the
+    composition's declared hazards, reports zero violations;
+(b) **executor oracle** — the serial executor, the multiprocessing
+    executor and the invariant-checked runner all produce byte-identical
+    :class:`MetricsSummary` objects for the same cells;
+(c) **routing oracle** — after the run (including any churn the
+    composition injected), the overlay's memoized ``next_hop`` and
+    ``authority`` agree with the retained unmemoized ``*_reference``
+    implementations for every (node, key) pair.
+
+Together these turn the scenario subsystem into a standing test rig:
+any future engine/perf change that breaks protocol correctness under
+stress, executor determinism, or routing-memo invalidation fails here.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import CupConfig
+from repro.experiments.executor import Cell, execute
+from repro.scenarios import (
+    CapacityFault,
+    ChurnBurst,
+    FlashCrowd,
+    Partition,
+    PopularityDrift,
+    Quiet,
+    Scenario,
+    run_scenario,
+)
+
+
+def fuzz_base_config() -> CupConfig:
+    """A deliberately tiny deployment so each example runs in ~0.1 s."""
+    return CupConfig(
+        num_nodes=16,
+        total_keys=4,
+        query_rate=3.0,
+        entry_lifetime=40.0,
+        query_start=60.0,
+        drain=60.0,
+        gc_interval=40.0,
+    )
+
+
+durations = st.sampled_from([20.0, 30.0, 45.0, 60.0])
+
+phase_strategy = st.one_of(
+    st.builds(Quiet, duration=durations),
+    st.builds(
+        ChurnBurst,
+        duration=durations,
+        rate=st.sampled_from([0.05, 0.1, 0.2]),
+        join_fraction=st.sampled_from([0.3, 0.5, 0.7]),
+        graceful_fraction=st.sampled_from([0.0, 0.5, 1.0]),
+    ),
+    st.builds(
+        Partition,
+        duration=durations,
+        groups=st.sampled_from([2, 3]),
+    ),
+    st.builds(
+        FlashCrowd,
+        duration=durations,
+        hot_key_index=st.integers(min_value=0, max_value=3),
+        share=st.sampled_from([0.5, 0.8, 0.95]),
+    ),
+    st.builds(
+        PopularityDrift,
+        duration=durations,
+        period=st.sampled_from([10.0, 20.0]),
+        share=st.sampled_from([0.4, 0.6]),
+        hot_key_count=st.integers(min_value=1, max_value=4),
+    ),
+    st.builds(
+        CapacityFault,
+        duration=durations,
+        fraction=st.sampled_from([0.2, 0.4]),
+        reduced=st.sampled_from([0.0, 0.25, 0.5]),
+    ),
+)
+
+composition_strategy = st.builds(
+    lambda phases: Scenario(
+        name="fuzz", description="generated composition",
+        phases=tuple(phases),
+    ),
+    st.lists(phase_strategy, min_size=1, max_size=4),
+)
+
+
+def assert_routing_matches_reference(overlay, keys) -> None:
+    """Oracle (c): memoized routing ≡ the unmemoized specification."""
+    node_ids = list(overlay.node_ids())
+    for key in keys:
+        assert overlay.authority(key) == overlay.authority_reference(key)
+        for node_id in node_ids:
+            assert overlay.next_hop(node_id, key) == \
+                overlay.next_hop_reference(node_id, key)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=composition_strategy, seed=st.integers(0, 2**16))
+def test_invariants_and_routing_oracle(scenario, seed):
+    """(a) + (c) on every generated composition."""
+    result = run_scenario(
+        scenario, seed=seed, base_config=fuzz_base_config(),
+        raise_on_violation=False,
+    )
+    assert result.ok, result.checker.report()
+    # The run actually did something.
+    assert result.summary.queries_posted > 0
+    network = result.network
+    assert_routing_matches_reference(network.overlay, network.keys)
+    # No partition rule may outlive its phase.
+    assert not network.transport._drop_rules
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=composition_strategy, seed=st.integers(0, 2**16))
+def test_serial_parallel_and_runner_metrics_identical(scenario, seed):
+    """(b): serial == parallel == invariant-checked runner, per example."""
+    base = fuzz_base_config().variant(seed=seed)
+    cells = [
+        Cell("scenario", base, scenario=scenario),
+        Cell("std-twin", base.variant(mode="standard"), scenario=scenario),
+    ]
+    serial = execute(cells, workers=1, use_cache=False)
+    parallel = execute(cells, workers=2, use_cache=False)
+    assert serial == parallel
+    checked = run_scenario(
+        scenario, seed=seed, base_config=fuzz_base_config(),
+        raise_on_violation=False,
+    )
+    assert checked.ok, checked.checker.report()
+    assert checked.summary == serial["scenario"]

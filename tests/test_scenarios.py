@@ -1,0 +1,261 @@
+"""Tests for the scenario DSL, the built-in library and the runner.
+
+Acceptance-critical: every built-in scenario runs end to end with the
+runtime invariant checker attached and reports zero violations; the
+scenario abstraction integrates with the parallel executor as a
+first-class cell.
+"""
+
+import pytest
+
+from repro.experiments.executor import Cell, FaultSpec, cell_key, execute
+from repro.scenarios import (
+    SCENARIOS,
+    CapacityFault,
+    ChurnBurst,
+    FlashCrowd,
+    Partition,
+    PopularityDrift,
+    Quiet,
+    Scenario,
+    default_base_config,
+    run_scenario,
+)
+from repro.workload.keyspace import RotatingHotKeys, UniformKeys
+
+import numpy as np
+
+
+class TestRotatingHotKeys:
+    def build(self, share=1.0, period=10.0):
+        base = UniformKeys(["cold"], np.random.default_rng(1))
+        return RotatingHotKeys(
+            base, ["h0", "h1", "h2"], start=100.0, end=160.0,
+            period=period, hot_share=share, rng=np.random.default_rng(2),
+        )
+
+    def test_rotation_follows_period(self):
+        selector = self.build()
+        assert selector.hot_key_at(100.0) == "h0"
+        assert selector.hot_key_at(111.0) == "h1"
+        assert selector.hot_key_at(125.0) == "h2"
+        assert selector.hot_key_at(133.0) == "h0"  # wraps around
+
+    def test_outside_window_falls_through(self):
+        selector = self.build()
+        assert selector.select(50.0) == "cold"
+        assert selector.select(200.0) == "cold"
+        assert selector.select(105.0) == "h0"
+
+    def test_share_splits_traffic(self):
+        selector = self.build(share=0.5)
+        picks = [selector.select(101.0) for _ in range(4000)]
+        share = sum(p == "h0" for p in picks) / len(picks)
+        assert 0.45 <= share <= 0.55
+
+    def test_validation(self):
+        base = UniformKeys(["c"], np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError, match="hot key"):
+            RotatingHotKeys(base, [], 0.0, 10.0, 1.0, 0.5, rng)
+        with pytest.raises(ValueError, match="period"):
+            RotatingHotKeys(base, ["h"], 0.0, 10.0, 0.0, 0.5, rng)
+        with pytest.raises(ValueError, match="hot_share"):
+            RotatingHotKeys(base, ["h"], 0.0, 10.0, 1.0, 1.5, rng)
+        with pytest.raises(ValueError, match="window"):
+            RotatingHotKeys(base, ["h"], 10.0, 5.0, 1.0, 0.5, rng)
+
+
+class TestPhaseValidation:
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            Quiet(0.0).validate()
+
+    def test_churn_rate_must_be_positive(self):
+        with pytest.raises(ValueError, match="rate"):
+            ChurnBurst(10.0, rate=0.0).validate()
+
+    def test_partition_needs_two_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            Partition(10.0, groups=1).validate()
+
+    def test_flash_crowd_share_bounds(self):
+        with pytest.raises(ValueError, match="share"):
+            FlashCrowd(10.0, share=1.5).validate()
+
+    def test_drift_period_positive(self):
+        with pytest.raises(ValueError, match="period"):
+            PopularityDrift(10.0, period=0.0).validate()
+
+    def test_capacity_bounds(self):
+        with pytest.raises(ValueError, match="reduced"):
+            CapacityFault(10.0, reduced=-0.1).validate()
+
+    def test_scenario_validates_phases_on_construction(self):
+        with pytest.raises(ValueError, match="duration"):
+            Scenario("bad", "", phases=(Quiet(-1.0),))
+
+    def test_scenario_needs_phases(self):
+        with pytest.raises(ValueError, match="no phases"):
+            Scenario("empty", "", phases=())
+
+    def test_duplicate_overrides_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Scenario(
+                "dup", "", phases=(Quiet(10.0),),
+                overrides=(("seed", 1), ("seed", 2)),
+            )
+
+
+class TestScenarioDerivation:
+    def test_total_duration_and_config_window(self):
+        scenario = Scenario(
+            "win", "", phases=(Quiet(30.0), FlashCrowd(45.0), Quiet(25.0)),
+        )
+        assert scenario.total_duration == 100.0
+        config = scenario.build_config(seed=9)
+        assert config.query_duration == 100.0
+        assert config.seed == 9
+
+    def test_overrides_apply(self):
+        scenario = Scenario(
+            "ov", "", phases=(Quiet(10.0),),
+            overrides=(("total_keys", 3), ("query_rate", 2.5)),
+        )
+        config = scenario.build_config()
+        assert config.resolved_total_keys() == 3
+        assert config.query_rate == 2.5
+
+    def test_hazards_union(self):
+        scenario = Scenario(
+            "hz", "",
+            phases=(Quiet(10.0), ChurnBurst(10.0), CapacityFault(10.0)),
+        )
+        assert scenario.hazards() == {"churn", "capacity"}
+
+    def test_key_is_stable_and_discriminating(self):
+        a = Scenario("x", "", phases=(Quiet(10.0), ChurnBurst(20.0, rate=0.1)))
+        b = Scenario("x", "", phases=(Quiet(10.0), ChurnBurst(20.0, rate=0.1)))
+        c = Scenario("x", "", phases=(Quiet(10.0), ChurnBurst(20.0, rate=0.2)))
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+
+    def test_scenarios_are_hashable(self):
+        assert len({s for s in SCENARIOS.values()}) == len(SCENARIOS)
+
+
+class TestBuiltinLibrary:
+    def test_at_least_six_builtins(self):
+        assert len(SCENARIOS) >= 6
+
+    def test_every_stressor_covered(self):
+        covered = {
+            type(phase)
+            for scenario in SCENARIOS.values()
+            for phase in scenario.phases
+        }
+        assert {
+            Quiet, ChurnBurst, Partition, FlashCrowd,
+            PopularityDrift, CapacityFault,
+        } <= covered
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_builtin_runs_clean_under_invariants(self, name):
+        """Acceptance: each built-in scenario, invariant-checked."""
+        result = run_scenario(SCENARIOS[name], seed=42)
+        assert result.ok, result.checker.report()
+        assert result.summary.queries_posted > 0
+        assert result.checker.audits_run > 0
+        report = result.report()
+        assert name in report
+        assert "invariants: OK" in report
+
+    def test_partition_scenario_actually_blocks_traffic(self):
+        result = run_scenario(SCENARIOS["partition-heal"], seed=42)
+        assert result.network.transport.blocked > 0
+        assert any("partition cut" in text for _, text in result.events)
+        assert any("healed" in text for _, text in result.events)
+
+    def test_churn_scenario_actually_churns(self):
+        result = run_scenario(SCENARIOS["churn-storm"], seed=42)
+        assert result.checker.membership_events > 0
+
+    def test_capacity_scenario_degrades_and_restores(self):
+        result = run_scenario(SCENARIOS["capacity-sag"], seed=42)
+        texts = [text for _, text in result.events]
+        assert sum("capacity fault" in t for t in texts) == 2
+        assert sum("capacity restored" in t for t in texts) == 2
+
+    def test_flash_crowd_concentrates_queries(self):
+        scenario = SCENARIOS["flash-crowd"]
+        result = run_scenario(scenario, seed=42)
+        flash = next(
+            p for p in scenario.phases if isinstance(p, FlashCrowd)
+        )
+        network = result.network
+        hot_key = network.keys[flash.hot_key_index]
+        # An 85% crowd drags nearly every node into the hot key's
+        # propagation tree; cold keys reach far fewer nodes.
+        reach = {
+            key: sum(1 for node in network.nodes.values()
+                     if key in node.cache)
+            for key in network.keys
+        }
+        cold = [count for key, count in reach.items() if key != hot_key]
+        assert reach[hot_key] >= len(network.nodes) // 2
+        assert reach[hot_key] >= max(cold)
+
+    def test_without_invariants_checker_absent(self):
+        result = run_scenario(
+            SCENARIOS["steady-state"], seed=1, invariants=False
+        )
+        assert result.checker is None
+        assert not result.ok
+
+
+class TestDeterminism:
+    def test_same_seed_same_summary(self):
+        a = run_scenario(SCENARIOS["perfect-storm"], seed=5)
+        b = run_scenario(SCENARIOS["perfect-storm"], seed=5)
+        assert a.summary == b.summary
+        assert a.events == b.events
+
+    def test_invariant_checker_does_not_change_metrics(self):
+        checked = run_scenario(SCENARIOS["churn-storm"], seed=6)
+        plain = run_scenario(
+            SCENARIOS["churn-storm"], seed=6, invariants=False
+        )
+        assert checked.summary == plain.summary
+
+
+class TestExecutorIntegration:
+    def test_cell_rejects_faults_plus_scenario(self):
+        base = default_base_config()
+        with pytest.raises(ValueError, match="not both"):
+            Cell(
+                "x", base,
+                faults=FaultSpec("up-and-down", reduced=0.5),
+                scenario=SCENARIOS["steady-state"],
+            )
+
+    def test_scenario_changes_cell_key(self):
+        base = default_base_config()
+        plain = Cell("a", base)
+        with_scenario = Cell("b", base, scenario=SCENARIOS["steady-state"])
+        other_scenario = Cell("c", base, scenario=SCENARIOS["flash-crowd"])
+        keys = {cell_key(plain), cell_key(with_scenario),
+                cell_key(other_scenario)}
+        assert len(keys) == 3
+
+    def test_serial_parallel_and_runner_agree(self):
+        base = default_base_config()
+        names = ["steady-state", "partition-heal"]
+        cells = [
+            Cell(name, base, scenario=SCENARIOS[name]) for name in names
+        ]
+        serial = execute(cells, workers=1, use_cache=False)
+        parallel = execute(cells, workers=2, use_cache=False)
+        assert serial == parallel
+        for name in names:
+            checked = run_scenario(SCENARIOS[name], seed=base.seed)
+            assert checked.summary == serial[name]

@@ -163,3 +163,91 @@ class TestObservers:
     def test_negative_default_delay_rejected(self):
         with pytest.raises(ValueError):
             Transport(Simulator(), default_delay=-0.1)
+
+
+class TestDropRules:
+    """The partition drop/heal rule layer (scenario-engine PR)."""
+
+    def wired(self):
+        sim, net = make_net(default_delay=0.1)
+        handlers = {}
+        for name in ("a", "b", "c"):
+            handlers[name] = Recorder()
+            net.register(name, handlers[name])
+        return sim, net, handlers
+
+    def test_drop_rule_blocks_delivery_but_charges_the_hop(self):
+        sim, net, handlers = self.wired()
+        observed = []
+        net.add_send_observer(lambda s, d, m: observed.append((s, d)))
+        net.add_drop_rule(lambda src, dst, message: dst == "b")
+        net.send("a", "b", Ping())
+        net.send("a", "c", Ping())
+        sim.run()
+        assert handlers["b"].received == []
+        assert len(handlers["c"].received) == 1
+        assert net.blocked == 1
+        assert net.sent == 2
+        # Observers fired for the blocked hop too: bandwidth was spent.
+        assert observed == [("a", "b"), ("a", "c")]
+
+    def test_remove_drop_rule_heals(self):
+        sim, net, handlers = self.wired()
+        rule_id = net.add_drop_rule(lambda *args: True)
+        net.send("a", "b", Ping())
+        net.remove_drop_rule(rule_id)
+        net.send("a", "b", Ping())
+        sim.run()
+        assert len(handlers["b"].received) == 1
+        assert net.blocked == 1
+
+    def test_remove_unknown_rule_is_idempotent(self):
+        _, net = make_net()
+        net.remove_drop_rule(12345)  # must not raise
+
+    def test_multiple_rules_any_blocks(self):
+        sim, net, handlers = self.wired()
+        net.add_drop_rule(lambda src, dst, message: dst == "b")
+        net.add_drop_rule(lambda src, dst, message: dst == "c")
+        net.send("a", "b", Ping())
+        net.send("a", "c", Ping())
+        sim.run()
+        assert handlers["b"].received == []
+        assert handlers["c"].received == []
+        assert net.blocked == 2
+
+    def test_partition_blocks_only_cross_island_traffic(self):
+        sim, net, handlers = self.wired()
+        net.partition([["a", "b"], ["c"]])
+        net.send("a", "b", Ping())  # intra-island
+        net.send("a", "c", Ping())  # cross-island
+        net.send("c", "b", Ping())  # cross-island, other direction
+        sim.run()
+        assert len(handlers["b"].received) == 1
+        assert handlers["c"].received == []
+        assert net.blocked == 2
+
+    def test_nodes_outside_every_island_communicate_freely(self):
+        sim, net, handlers = self.wired()
+        net.partition([["a"], ["b"]])
+        net.register("late", late := Recorder())
+        net.send("a", "late", Ping())  # 'late' joined mid-partition
+        net.send("late", "b", Ping())
+        sim.run()
+        assert len(late.received) == 1
+        assert len(handlers["b"].received) == 1
+        assert net.blocked == 0
+
+    def test_send_direct_bypasses_rules(self):
+        sim, net, handlers = self.wired()
+        net.partition([["a"], ["b"]])
+        net.send_direct("b", Ping(), delay=0.0, src="a")
+        sim.run()
+        assert len(handlers["b"].received) == 1
+        assert net.blocked == 0
+        assert net.sent_direct == 1
+
+    def test_partition_rejects_overlapping_groups(self):
+        _, net = make_net()
+        with pytest.raises(ValueError, match="more than one"):
+            net.partition([["a", "b"], ["b", "c"]])
