@@ -13,11 +13,13 @@ best of ``PERF_ROUNDS`` timed rounds).
 
 from __future__ import annotations
 
+import datetime
 import json
 import platform
+import subprocess
 import sys
 from pathlib import Path
-from typing import Dict
+from typing import Dict, Optional
 
 import pytest
 
@@ -29,6 +31,82 @@ from perfutil import PERF_ROUNDS  # noqa: E402
 
 RESULTS_DIR = PERF_DIR.parent / "results"
 PERF_RECORD = RESULTS_DIR / "BENCH_perf.json"
+TRAJECTORY_RECORD = RESULTS_DIR / "BENCH_trajectory.json"
+
+
+def _git_revision() -> Optional[str]:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=PERF_DIR, capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def _append_trajectory(record: Dict[str, dict]) -> None:
+    """Append one per-PR snapshot of the key numbers to the trajectory.
+
+    ``BENCH_trajectory.json`` is append-only across PRs: one entry per
+    recorded suite run, keyed by git revision, holding each benchmark's
+    throughput plus the scale-degradation quantities — so the perf
+    trajectory of the whole repository is machine-readable without
+    diffing BENCH_perf.json versions out of git history.  Re-running the
+    suite on the same revision replaces that revision's entry instead of
+    duplicating it.
+    """
+    entry = {
+        "revision": _git_revision(),
+        "recorded": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "throughput_per_sec": {
+            name: m.get("throughput_per_sec") for name, m in record.items()
+        },
+    }
+    ratio = record.get("scale_degradation_ratio")
+    if ratio is not None:
+        entry["degradation_ratio_n16384"] = ratio.get("degradation_ratio")
+        entry["ratio_improvement_vs_seed"] = ratio.get("ratio_improvement")
+        entry["large_n_throughput_improvement_vs_seed"] = ratio.get(
+            "large_n_throughput_improvement"
+        )
+    try:
+        trajectory = json.loads(TRAJECTORY_RECORD.read_text())
+        if not isinstance(trajectory.get("entries"), list):
+            raise ValueError
+    except (OSError, ValueError):
+        trajectory = {"suite": "perf-trajectory", "entries": []}
+    entries = trajectory["entries"]
+    # One entry per revision — a None revision (no git available) is a
+    # key of its own, so repeated tarball runs merge instead of growing
+    # the file unboundedly.
+    existing = None
+    for candidate in entries:
+        if candidate.get("revision") == entry["revision"]:
+            existing = candidate
+            break
+    if existing is not None:
+        # Merge into the revision's record instead of replacing it: a
+        # partial invocation (single file, REPRO_PERF_SCALE_MAX-capped
+        # run) refreshes the benchmarks it ran without destroying the
+        # full-suite numbers already recorded for this revision.
+        existing["recorded"] = entry["recorded"]
+        existing["python"] = entry["python"]
+        existing.setdefault("throughput_per_sec", {}).update(
+            entry["throughput_per_sec"]
+        )
+        for field in (
+            "degradation_ratio_n16384",
+            "ratio_improvement_vs_seed",
+            "large_n_throughput_improvement_vs_seed",
+        ):
+            if field in entry:
+                existing[field] = entry[field]
+    else:
+        entries.append(entry)
+    TRAJECTORY_RECORD.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")
@@ -47,6 +125,7 @@ def perf_record():
         "benchmarks": record,
     }
     PERF_RECORD.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _append_trajectory(record)
 
 
 @pytest.fixture()

@@ -30,7 +30,25 @@ import time
 import tracemalloc
 
 from repro.core.protocol import CupNetwork
+from repro.experiments import topology
 from repro.experiments.config import SMALL
+
+#: Seed (pre-optimization) per-event throughput of the two ratio cells,
+#: from the committed BENCH_perf.json of PR 3: the accountability
+#: baseline for the flat-cost-in-N work.
+SEED_THROUGHPUT_N1024 = 229089.8
+SEED_THROUGHPUT_N16384 = 64572.5
+SEED_DEGRADATION_RATIO = SEED_THROUGHPUT_N1024 / SEED_THROUGHPUT_N16384
+
+#: Regression gate for the measured degradation ratio.  The seed sat at
+#: 3.55; the batched fan-out + flat-counter + snapshot work brought the
+#: sweep steady state to ~2.2-2.5 on the reference box.  The bound sits
+#: ~25% above the recorded value — wide enough that shared-runner
+#: co-tenancy (which inflates the multi-second n=16384 cell more than
+#: the n=1024 one) does not fire it, tight enough that regressing back
+#: toward the seed behaviour fails the suite.  The machine-normalized
+#: per-cell gate lives in scripts/check_perf_regression.py.
+MAX_DEGRADATION_RATIO = 3.1
 
 #: (num_nodes, golden queries_posted, golden total_cost) per cell.  The
 #: workload stream is identical across n (same seed, same arrival
@@ -98,3 +116,79 @@ def test_scale_network_size_cells(perf_publish):
         )
         ran += 1
     assert ran >= 1, "REPRO_PERF_SCALE_MAX excluded every scale cell"
+
+
+def _sweep_steady_state_throughput(num_nodes: int, rounds: int = 2):
+    """Best per-event throughput of a sweep re-run of one cell.
+
+    Measures what a sweep pays per cell once the topology snapshot cache
+    is warm (tentpole layer 3): the overlay — route memos included — is
+    leased, only the run phase is timed, and the best of ``rounds`` runs
+    is taken (the simulation is deterministic; rounds differ only by
+    machine noise and memo warmth).
+    """
+    config = _cell_config(num_nodes)
+    topo = topology.lease(config)
+    best = None
+    for _ in range(rounds):
+        net = CupNetwork(config, topology=topo)
+        started = time.perf_counter()
+        summary = net.run()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[0]:
+            best = (elapsed, net.sim.events_processed, summary)
+    return best
+
+
+def test_scale_degradation_ratio(perf_publish):
+    """Pin the n=1024 → n=16384 per-event throughput degradation.
+
+    The seed degraded 3.55x (more hops per query at a larger diameter,
+    and each hop cost ~20 us); the batched fan-out and flat-counter
+    layers cut per-hop cost by more than half, which lifts the large-N
+    cell — where hops dominate the event mix — far more than the small
+    one.  Both cells are measured back-to-back in this process, so the
+    ratio cancels machine speed; the absolute throughputs are published
+    alongside the seed values so the trajectory file records the
+    improvement factors per PR.
+    """
+    if _scale_cap() < 16384:
+        import pytest
+
+        pytest.skip("REPRO_PERF_SCALE_MAX excludes the n=16384 ratio cell")
+    wall_small, events_small, summary_small = _sweep_steady_state_throughput(
+        1024, rounds=3
+    )
+    wall_large, events_large, summary_large = _sweep_steady_state_throughput(
+        16384, rounds=2
+    )
+    # The golden referee: fast-but-wrong cannot publish a ratio.
+    assert summary_small.queries_posted == 74716
+    assert summary_small.total_cost == 15358
+    assert summary_large.queries_posted == 74716
+    assert summary_large.total_cost == 239336
+
+    throughput_small = events_small / wall_small
+    throughput_large = events_large / wall_large
+    ratio = throughput_small / throughput_large
+    perf_publish(
+        "scale_degradation_ratio",
+        wall_seconds=wall_small + wall_large,
+        ops=events_small + events_large,
+        unit="events",
+        degradation_ratio=round(ratio, 3),
+        throughput_n1024=round(throughput_small, 1),
+        throughput_n16384=round(throughput_large, 1),
+        seed_degradation_ratio=round(SEED_DEGRADATION_RATIO, 3),
+        seed_throughput_n1024=SEED_THROUGHPUT_N1024,
+        seed_throughput_n16384=SEED_THROUGHPUT_N16384,
+        ratio_improvement=round(SEED_DEGRADATION_RATIO / ratio, 3),
+        large_n_throughput_improvement=round(
+            throughput_large / SEED_THROUGHPUT_N16384, 3
+        ),
+    )
+    assert ratio <= MAX_DEGRADATION_RATIO, (
+        f"per-event throughput degradation n=1024 -> n=16384 is "
+        f"{ratio:.2f}x (seed {SEED_DEGRADATION_RATIO:.2f}x); the flat-cost "
+        f"work held this under {MAX_DEGRADATION_RATIO}"
+    )

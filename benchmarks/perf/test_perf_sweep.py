@@ -1,0 +1,80 @@
+"""Sweep benchmark: topology snapshot reuse across cells.
+
+A sweep's cells share one topology; the executor's snapshot cache
+(:mod:`repro.experiments.topology`) makes every cell after the first
+stop paying the overlay build.  This suite measures, at the n = 4096
+scale cell:
+
+* **cold**: first lease (actual overlay construction) plus a fresh
+  ``CupNetwork`` setup that rebuilds everything itself;
+* **warm**: a repeat lease (cache hit) plus a ``CupNetwork`` setup on
+  the leased snapshot.
+
+It asserts the acceptance property directly: re-running the same
+topology has near-zero incremental topology cost — the warm lease is
+orders of magnitude under the cold build and the warm network reports
+zero ``routing_build_seconds`` — and referees correctness by comparing
+the warm cell's summary against the cold one's, byte for byte.
+"""
+
+import time
+
+from repro.core.protocol import CupNetwork
+from repro.experiments import topology
+from repro.experiments.config import SMALL
+
+
+def _config():
+    return SMALL.config(seed=42, num_nodes=4096, query_rate=SMALL.rate(100.0))
+
+
+def test_sweep_topology_snapshot_reuse(perf_publish):
+    config = _config()
+    topology.clear()
+
+    started = time.perf_counter()
+    snapshot = topology.lease(config)
+    cold_build = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cold_net = CupNetwork(config)
+    cold_setup = time.perf_counter() - started
+
+    started = time.perf_counter()
+    leased = topology.lease(config)
+    warm_lease = time.perf_counter() - started
+    assert leased is snapshot, "second lease must hit the snapshot cache"
+
+    started = time.perf_counter()
+    warm_net = CupNetwork(config, topology=leased)
+    warm_setup = time.perf_counter() - started
+
+    # Near-zero incremental topology cost on a sweep re-run: the warm
+    # lease is a dict probe, and the warm network reports no routing
+    # build at all (its snapshot carries the tables and memos).
+    assert warm_lease < max(0.005, 0.10 * cold_build), (
+        f"warm lease took {warm_lease:.4f}s vs cold build {cold_build:.4f}s"
+    )
+    assert warm_net.metrics.routing_build_seconds == 0.0
+    assert warm_net.metrics.routing_table_builds == 0
+    assert cold_net.metrics.routing_build_seconds > 0.0
+
+    # Correctness referee: the shared snapshot changes nothing.
+    cold_summary = cold_net.run()
+    warm_summary = warm_net.run()
+    assert warm_summary == cold_summary
+
+    perf_publish(
+        "sweep_topology_snapshot",
+        wall_seconds=cold_build,
+        ops=config.num_nodes,
+        unit="nodes",
+        cold_build_seconds=round(cold_build, 6),
+        warm_lease_seconds=round(warm_lease, 6),
+        cold_setup_seconds=round(cold_setup, 6),
+        warm_setup_seconds=round(warm_setup, 6),
+        cold_routing_build_seconds=round(
+            cold_net.metrics.routing_build_seconds, 6
+        ),
+        warm_routing_build_seconds=0.0,
+    )

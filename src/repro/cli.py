@@ -126,6 +126,52 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one experiment harness (or the macro cell) under cProfile."""
+    import cProfile
+    import pstats
+
+    name = args.harness
+    if name != "macro" and name not in EXPERIMENTS:
+        print(f"unknown harness: {name!r}", file=sys.stderr)
+        print(
+            f"choose from: macro, {', '.join(EXPERIMENTS)}", file=sys.stderr
+        )
+        return 2
+    # Profile actual simulation work: caches would reduce the profile to
+    # JSON parsing, worker pools would move the work out of this
+    # process.
+    runcache.configure(enabled=False)
+    executor.configure(workers=1)
+    scale = resolve_scale(args.scale)
+    profiler = cProfile.Profile()
+    if name == "macro":
+        from repro.core.protocol import CupNetwork
+
+        config = scale.config(
+            seed=args.seed, num_nodes=args.nodes,
+            query_rate=scale.rate(100.0),
+        )
+        net = CupNetwork(config)
+        print(
+            f"profiling macro cell: n={args.nodes} paper-rate=100 "
+            f"scale={scale.name}"
+        )
+        profiler.enable()
+        net.run()
+        profiler.disable()
+    else:
+        _, runner = EXPERIMENTS[name]
+        print(f"profiling harness {name!r} at scale={scale.name}")
+        profiler.enable()
+        runner(scale, args.seed)
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    return 0
+
+
 def _cmd_quickstart(_args: argparse.Namespace) -> int:
     from repro import CupConfig, CupNetwork
 
@@ -245,6 +291,35 @@ def build_parser() -> argparse.ArgumentParser:
         "quickstart", help="tiny CUP vs standard caching comparison"
     )
     quick_parser.set_defaults(fn=_cmd_quickstart)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run one harness (or the macro cell) under cProfile",
+    )
+    profile_parser.add_argument(
+        "harness",
+        help=f"'macro' (one network-size cell) or one of: "
+             f"{', '.join(EXPERIMENTS)}",
+    )
+    profile_parser.add_argument(
+        "--scale", default=None, choices=["tiny", "small", "paper"],
+        help="parameter preset (default: $REPRO_SCALE or 'small')",
+    )
+    profile_parser.add_argument("--seed", type=int, default=42)
+    profile_parser.add_argument(
+        "--nodes", type=_positive_int, default=1024, metavar="N",
+        help="network size for the 'macro' cell (default 1024)",
+    )
+    profile_parser.add_argument(
+        "--top", type=_positive_int, default=25, metavar="N",
+        help="number of hot spots to print (default 25)",
+    )
+    profile_parser.add_argument(
+        "--sort", default="cumulative",
+        choices=["cumulative", "tottime", "calls"],
+        help="pstats sort order (default: cumulative)",
+    )
+    profile_parser.set_defaults(fn=_cmd_profile)
 
     scenarios_parser = sub.add_parser(
         "scenarios", help="adversarial scenario engine"

@@ -54,6 +54,8 @@ class KeyState:
         "clear_bit_sent",
         "justification_deadlines",
         "_interest_sorted",
+        "min_expires",
+        "max_expires",
     )
 
     #: Cap on retained justification windows per key; refreshes arrive at
@@ -90,6 +92,20 @@ class KeyState:
         self.justification_deadlines: Deque[float] = deque()
         # Memoized deterministic fan-out order (see sorted_interest).
         self._interest_sorted: Optional[tuple] = None
+        # Conservative lower bound on the earliest entry expiration: the
+        # gc sweep skips the per-entry scan entirely while the clock has
+        # not reached it.  Maintained on entry application (replacing an
+        # entry can only leave the bound stale-low, never stale-high, so
+        # a false positive costs one scan, never a missed purge); the gc
+        # scan itself re-tightens it.
+        self.min_expires = float("inf")
+        # Exact latest entry expiration (-inf when empty): has_fresh —
+        # evaluated on every query and every response-readiness check —
+        # is a single comparison against it instead of an entry walk.
+        # Kept exact by apply/remove/purge (removal of the maximal entry
+        # triggers a recompute; expired-only purges cannot remove it
+        # while it is still ahead of the clock).
+        self.max_expires = float("-inf")
 
     # ------------------------------------------------------------------
     # Entry freshness
@@ -101,10 +117,7 @@ class KeyState:
 
     def has_fresh(self, now: float) -> bool:
         """Whether at least one cached entry is fresh (§2.5 case 1)."""
-        for entry in self.entries.values():
-            if entry.is_fresh(now):
-                return True
-        return False
+        return now < self.max_expires
 
     def all_expired(self, now: float) -> bool:
         """Whether the key is cached but unusable (§2.5 case 3)."""
@@ -115,7 +128,22 @@ class KeyState:
         stale = [rid for rid, e in self.entries.items() if not e.is_fresh(now)]
         for rid in stale:
             del self.entries[rid]
+        if stale:
+            self._recompute_expiry_bounds()
         return len(stale)
+
+    def _recompute_expiry_bounds(self) -> None:
+        """Re-derive min/max entry expirations after entry removal."""
+        min_expires = float("inf")
+        max_expires = float("-inf")
+        for entry in self.entries.values():
+            expires = entry.timestamp + entry.lifetime
+            if expires < min_expires:
+                min_expires = expires
+            if expires > max_expires:
+                max_expires = expires
+        self.min_expires = min_expires
+        self.max_expires = max_expires
 
     def apply_entry(self, entry: IndexEntry) -> bool:
         """Insert or refresh one entry, respecting sequence numbers.
@@ -123,16 +151,37 @@ class KeyState:
         Returns ``False`` when the cache already holds a same-or-newer
         version for that replica (an out-of-order or duplicate update),
         ``True`` when the entry was stored.
+
+        NOTE: the single-entry hot path in ``CupNode._handle_update``
+        inlines this method (sequence guard + expiry-bound
+        maintenance); semantic changes here must be mirrored there.
         """
         current = self.entries.get(entry.replica_id)
         if current is not None and current.sequence >= entry.sequence:
             return False
         self.entries[entry.replica_id] = entry
+        expires = entry.timestamp + entry.lifetime
+        if (
+            current is not None
+            and expires < current.timestamp + current.lifetime
+        ):
+            # A replacement that *shrinks* the expiry (a refresh always
+            # extends it, so this is a theoretical path): the replaced
+            # entry may have carried the max bound — re-derive both.
+            self._recompute_expiry_bounds()
+            return True
+        if expires < self.min_expires:
+            self.min_expires = expires
+        if expires > self.max_expires:
+            self.max_expires = expires
         return True
 
     def remove_entry(self, replica_id: str) -> bool:
         """Delete the entry for ``replica_id`` if present."""
-        return self.entries.pop(replica_id, None) is not None
+        if self.entries.pop(replica_id, None) is None:
+            return False
+        self._recompute_expiry_bounds()
+        return True
 
     # ------------------------------------------------------------------
     # Interest bookkeeping
@@ -312,12 +361,56 @@ class NodeCache:
 
         Run periodically by long simulations to bound memory; correctness
         never depends on it because freshness is always checked at use.
+        The sweep visits every node each tick — O(N·keys) per tick at
+        network scale — so the purge and discard checks are inlined here
+        rather than paying two method frames per key.  After the purge
+        every surviving entry is fresh, so ``has_fresh`` reduces to
+        ``bool(entries)`` and :meth:`KeyState.is_discardable` to the flag
+        checks below.
         """
-        removed = []
+        removed = None
+        inf = float("inf")
         for key, state in self.states.items():
-            state.purge_expired(now)
-            if state.is_discardable(now):
-                removed.append(key)
+            entries = state.entries
+            if entries:
+                if now < state.min_expires:
+                    # Provably nothing to purge, and a state with fresh
+                    # entries is never discardable: skip the scan.
+                    continue
+                stale = None
+                min_expires = inf
+                max_expires = -inf
+                for rid, e in entries.items():
+                    expires = e.timestamp + e.lifetime
+                    if expires <= now:
+                        if stale is None:
+                            stale = [rid]
+                        else:
+                            stale.append(rid)
+                    else:
+                        if expires < min_expires:
+                            min_expires = expires
+                        if expires > max_expires:
+                            max_expires = expires
+                if stale is not None:
+                    for rid in stale:
+                        del entries[rid]
+                state.min_expires = min_expires
+                state.max_expires = max_expires
+                if entries:
+                    continue
+            if not (
+                state.pending_first_update
+                or state.interest
+                or state.waiting
+                or state.local_waiters
+            ):
+                if removed is None:
+                    removed = [key]
+                else:
+                    removed.append(key)
+        if removed is None:
+            return 0
         for key in removed:
             del self.states[key]
         return len(removed)

@@ -144,6 +144,13 @@ class OutgoingUpdateChannels:
         Optional override of the type-priority table.
     """
 
+    __slots__ = (
+        "_sim", "_send", "capacity", "unlimited", "_rng", "_priorities",
+        "_queues", "_seq", "_pump_scheduled", "_pump_event", "_queued_total",
+        "_tie_keys", "_longest", "forwarded", "suppressed",
+        "expired_in_queue",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -155,6 +162,11 @@ class OutgoingUpdateChannels:
         self._sim = sim
         self._send = send_fn
         self.capacity = capacity or CapacityConfig()
+        # Precomputed "no constraint at all" bit: the batched fan-out
+        # fast path in the node reads this once per fan-out instead of
+        # re-deriving it from fraction/rate per child.  Kept in sync by
+        # set_capacity.
+        self.unlimited = self.capacity.unlimited()
         self._rng = rng
         self._priorities = priorities or DEFAULT_PRIORITIES
         self._queues: Dict[NodeId, List[_QueuedUpdate]] = {}
@@ -186,6 +198,7 @@ class OutgoingUpdateChannels:
         (they expire or get pushed).
         """
         self.capacity = capacity
+        self.unlimited = capacity.unlimited()
         if capacity.rate is not None and self._pending():
             # Re-pace the pump at the new rate immediately; the stale
             # schedule would otherwise linger at the old pace.

@@ -62,8 +62,15 @@ class IndexEntry:
         return self.timestamp + self.lifetime
 
     def is_fresh(self, now: float) -> bool:
-        """Whether the entry may still be used to answer queries."""
-        return now - self.timestamp < self.lifetime
+        """Whether the entry may still be used to answer queries.
+
+        Phrased as ``now < timestamp + lifetime`` so it is float-exact
+        against :attr:`expires_at` — every expiry comparison in the
+        system (message expiry precomputation, queue elimination, cache
+        gc) reduces to the same ``expires_at`` arithmetic and can never
+        disagree at a rounding boundary.
+        """
+        return now < self.timestamp + self.lifetime
 
     def remaining(self, now: float) -> float:
         """Seconds of freshness left (negative once expired)."""

@@ -94,6 +94,7 @@ class UpdateMessage(Message):
     kind = "update"
     __slots__ = (
         "key", "update_type", "entries", "replica_id", "issued_at", "route",
+        "expiry",
     )
 
     def __init__(
@@ -112,6 +113,14 @@ class UpdateMessage(Message):
         self.replica_id = replica_id
         self.issued_at = issued_at
         self.route = route
+        # The payload (entries tuple) is immutable once issued, so its
+        # latest expiration is a constant of the message family: computed
+        # once here and carried by every fork, instead of re-reduced over
+        # the entries on every hop and every queue reordering.
+        if entries:
+            self.expiry = max(e.expires_at for e in entries)
+        else:
+            self.expiry = 0.0
 
     def carried_expiry(self) -> float:
         """Latest expiration among carried entries (0.0 when empty).
@@ -120,7 +129,7 @@ class UpdateMessage(Message):
         dropped on arrival (§2.6 case 3); channels also use this to
         discard queued updates that expired while waiting.
         """
-        return max((e.expires_at for e in self.entries), default=0.0)
+        return self.expiry
 
     def is_expired(self, now: float) -> bool:
         """Whether every carried entry has expired by ``now``.
@@ -128,22 +137,28 @@ class UpdateMessage(Message):
         Deletes never expire in this sense when they carry no entry
         payload; they are directives, not cacheable state.
         """
-        if not self.entries:
-            return False
-        return all(not e.is_fresh(now) for e in self.entries)
+        return self.expiry <= now if self.entries else False
 
     def fork(self) -> "UpdateMessage":
-        """A fresh copy for forwarding to one more neighbor.
+        """A lightweight envelope for forwarding to one more neighbor.
 
         Messages accumulate per-link hop counts; forwarding the same
         object down several branches of the CUP tree would conflate their
-        counters, so every branch gets its own copy (entries are shared —
-        they are immutable in practice once issued).
+        counters, so every branch gets its own envelope.  The payload —
+        the entries tuple and every other field — is shared, not copied:
+        a fan-out to k children allocates one payload and k envelopes.
+        The slot-copy construction deliberately bypasses ``__init__`` so
+        an envelope costs a single allocation, no call frames and no
+        expiry re-reduction.
         """
-        copy = UpdateMessage(
-            self.key, self.update_type, self.entries, self.replica_id,
-            self.issued_at, route=self.route,
-        )
+        copy = UpdateMessage.__new__(UpdateMessage)
+        copy.key = self.key
+        copy.update_type = self.update_type
+        copy.entries = self.entries
+        copy.replica_id = self.replica_id
+        copy.issued_at = self.issued_at
+        copy.route = self.route
+        copy.expiry = self.expiry
         copy.hops = self.hops
         return copy
 

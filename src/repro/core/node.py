@@ -98,7 +98,7 @@ class CupNode:
         "pfu_timeout", "track_justification", "cache", "authority_index",
         "channels", "refresh_aggregation_window", "refresh_sample_fraction",
         "_aggregation_buffers", "_sample_rng", "keepalive_monitor",
-        "invariant_probe",
+        "invariant_probe", "batched_fanout", "_forward_always",
     )
 
     def __init__(
@@ -119,6 +119,7 @@ class CupNode:
         refresh_aggregation_window: Optional[float] = None,
         refresh_sample_fraction: float = 1.0,
         channel_priorities: Optional[dict] = None,
+        batched_fanout: bool = True,
     ):
         if refresh_aggregation_window is not None and refresh_aggregation_window <= 0:
             raise ValueError(
@@ -133,6 +134,12 @@ class CupNode:
         self._transport = transport
         self._overlay = overlay
         self.policy = policy
+        # Policies that inherit the base may_forward (always True — every
+        # cut-off family except explicit push-level caps) let the fan-out
+        # skip two method calls per forwarded update.
+        self._forward_always = (
+            type(policy).may_forward is CutoffPolicy.may_forward
+        )
         self.metrics = metrics
         self.persistent_interest = persistent_interest
         self.coalesce = coalesce
@@ -149,6 +156,12 @@ class CupNode:
         self.refresh_sample_fraction = refresh_sample_fraction
         self._aggregation_buffers: dict = {}
         self._sample_rng = rng
+        # Batched fan-out (one shared payload + k envelopes through one
+        # transport call) vs the per-child reference path.  Both produce
+        # byte-identical metrics and cache state — the flag exists so
+        # the equivalence property tests can referee one against the
+        # other, and as an escape hatch while diagnosing.
+        self.batched_fanout = batched_fanout
         # Attached by CupNetwork.enable_keepalive(); None otherwise.
         self.keepalive_monitor = None
         # Attached by CupNetwork.attach_invariants(); None otherwise.
@@ -161,20 +174,25 @@ class CupNode:
     # ------------------------------------------------------------------
 
     def receive(self, message: Message, sender: NodeId) -> None:
-        """Dispatch one delivered message (transport handler)."""
+        """Dispatch one delivered message (transport handler).
+
+        Updates are tested first: they dominate every CUP workload (the
+        maintenance stream fans out along the whole subscription tree
+        while queries stop at the first fresh cache).
+        """
         kind = message.kind
         if self.keepalive_monitor is not None and sender is not None:
             # Any traffic proves the sender alive (§2.1 keep-alives
             # effectively piggyback on protocol messages).
             self.keepalive_monitor.note_heard(sender)
-        if kind == "keepalive":
-            return
-        if kind == "query":
-            self._handle_query(message, sender)
-        elif kind == "update":
+        if kind == "update":
             self._handle_update(message, sender)
+        elif kind == "query":
+            self._handle_query(message, sender)
         elif kind == "clear_bit":
             self._handle_clear_bit(message, sender)
+        elif kind == "keepalive":
+            return
         elif kind == "replica":
             self._handle_replica(message)
         else:  # pragma: no cover - guards future message kinds
@@ -291,7 +309,7 @@ class CupNode:
         if self.coalesce:
             state.register_interest(from_neighbor)
             response = UpdateMessage(key, UpdateType.FIRST_TIME, entries, None, now)
-            self.channels.push(from_neighbor, response)
+            self._push_updates((from_neighbor,), response)
             if not self.persistent_interest:
                 state.clear_interest(from_neighbor)
         else:
@@ -324,12 +342,16 @@ class CupNode:
         probe = self.invariant_probe
         if probe is not None:
             probe.update_delivered(self.node_id, update, sender)
+        metrics = self.metrics
         # Case 3: the update expired in flight — drop silently.
-        if update.is_expired(now):
-            self.metrics.updates_dropped_expired += 1
+        if update.entries and update.expiry <= now:
+            metrics.updates_dropped_expired += 1
             return
         key = update.key
-        state = self.cache.get_or_create(key)
+        states = self.cache.states
+        state = states.get(key)
+        if state is None:
+            state = states[key] = KeyState(key)
         update_type = update.update_type
 
         if update.route is not None:
@@ -346,34 +368,108 @@ class CupNode:
                 if state.remove_entry(entry.replica_id) and probe is not None:
                     probe.entry_removed(self.node_id, key, entry.replica_id)
         else:
-            applied = False
-            for entry in update.entries:
-                if state.apply_entry(entry):
-                    applied = True
+            carried = update.entries
+            if len(carried) == 1:
+                # Single-entry refresh/append — the overwhelmingly common
+                # maintenance payload — applied inline.  This block is
+                # KeyState.apply_entry verbatim (sequence guard + expiry
+                # bound maintenance); a semantic change there MUST be
+                # mirrored here, or single- and multi-entry updates
+                # diverge in cache state.
+                entry = carried[0]
+                cached = state.entries
+                current = cached.get(entry.replica_id)
+                if current is None or current.sequence < entry.sequence:
+                    cached[entry.replica_id] = entry
+                    expires = entry.timestamp + entry.lifetime
+                    if (
+                        current is not None
+                        and expires < current.timestamp + current.lifetime
+                    ):
+                        # Shrinking replacement (theoretical): re-derive
+                        # the expiry bounds, as KeyState.apply_entry.
+                        state._recompute_expiry_bounds()
+                    else:
+                        if expires < state.min_expires:
+                            state.min_expires = expires
+                        if expires > state.max_expires:
+                            state.max_expires = expires
                     if probe is not None:
                         probe.entry_applied(self.node_id, key, entry)
-            if not applied:
-                # A stale or duplicate update (older sequence than cached):
-                # it must not re-trigger cut-off logic or be re-forwarded,
-                # or reordered deliveries would echo through the tree.
-                self.metrics.updates_stale_discarded += 1
-                return
+                else:
+                    # A stale or duplicate update (older sequence than
+                    # cached): it must not re-trigger cut-off logic or be
+                    # re-forwarded, or reordered deliveries would echo
+                    # through the tree.
+                    metrics.updates_stale_discarded += 1
+                    return
+            else:
+                applied = False
+                for entry in carried:
+                    if state.apply_entry(entry):
+                        applied = True
+                        if probe is not None:
+                            probe.entry_applied(self.node_id, key, entry)
+                if not applied:
+                    metrics.updates_stale_discarded += 1
+                    return
 
         if self.track_justification:
-            self.metrics.unjustified_updates += state.expire_justification(now)
-            state.record_justification_window(update.carried_expiry())
+            deadlines = state.justification_deadlines
+            if deadlines and deadlines[0] < now:
+                metrics.unjustified_updates += state.expire_justification(now)
+            if len(deadlines) < state.MAX_JUSTIFICATION_WINDOWS:
+                deadlines.append(update.expiry)
 
-        triggering = self._is_cutoff_trigger(state, update)
+        # Cut-off trigger decision (one evaluation per maintenance
+        # update): the naive variant triggers on every update, the
+        # replica-independent fix (§3.6) only on updates for the key's
+        # designated replica — so the decision rate does not scale with
+        # the replica count.
+        if not self.replica_independent_cutoff:
+            triggering = True
+        else:
+            replica_id = update.replica_id
+            if replica_id is None:
+                triggering = True
+            else:
+                designated = state.designated_replica
+                if designated is None:
+                    state.designated_replica = replica_id
+                    triggering = True
+                else:
+                    triggering = replica_id == designated
         if triggering:
             self.policy.observe_update(state)
 
-        delivered: set = set()
-        if state.interest:
+        delivered: tuple = ()
+        interest = state.interest
+        if interest:
             # Receiving on behalf of interested neighbors: apply and push
             # (§2.6 case 2, "popularity high or some interest bits set").
-            delivered = self._forward_to_interested(
-                state, update, exclude=sender
-            )
+            # The no-gate batched case — an ungated policy at full
+            # capacity, i.e. virtually every hop of a healthy run — is
+            # inlined; anything that can gate, suppress or queue takes
+            # the general path.
+            channels = self.channels
+            if (
+                self._forward_always
+                and channels.unlimited
+                and self.batched_fanout
+            ):
+                targets = state._interest_sorted
+                if targets is None or len(targets) != len(interest):
+                    targets = state.sorted_interest()
+                if sender is not None and sender in interest:
+                    targets = tuple(t for t in targets if t != sender)
+                if targets:
+                    self._transport.send_fanout(self.node_id, targets, update)
+                    channels.forwarded += len(targets)
+                    delivered = targets
+            else:
+                delivered = self._forward_to_interested(
+                    state, update, exclude=sender
+                )
         elif triggering and not self._is_authority(key, state):
             distance = self._distance_for_policy(key, state)
             if not self.policy.should_keep_receiving(state, distance):
@@ -388,15 +484,16 @@ class CupNode:
         if state.pending_first_update and state.has_fresh(now):
             state.pending_first_update = False
             self._answer_local_waiters(state)
-            starved = state.waiting - delivered
+            starved = state.waiting.difference(delivered)
+            starved.discard(sender)
             if starved:
                 response = UpdateMessage(
                     key, UpdateType.FIRST_TIME,
                     tuple(state.fresh_entries(now)), None, now,
                 )
-                for neighbor in sorted(starved, key=str):
-                    if neighbor != sender:
-                        self.channels.push(neighbor, response.fork())
+                self._push_updates(
+                    tuple(sorted(starved, key=str)), response
+                )
             state.waiting.clear()
 
         if triggering:
@@ -454,11 +551,16 @@ class CupNode:
                 e.replica_id for e in update.entries
             )
         self._answer_local_waiters(state)
-        for neighbor in sorted(state.waiting, key=str):
-            if neighbor == sender:
-                continue
-            self.channels.push(neighbor, update.fork())
-        state.waiting.clear()
+        if state.waiting:
+            self._push_updates(
+                tuple(
+                    neighbor
+                    for neighbor in sorted(state.waiting, key=str)
+                    if neighbor != sender
+                ),
+                update,
+            )
+            state.waiting.clear()
         if not self.persistent_interest:
             state.clear_all_interest()
             return
@@ -487,23 +589,6 @@ class CupNode:
                 )
             state.local_waiters = 0
 
-    def _is_cutoff_trigger(self, state: KeyState, update: UpdateMessage) -> bool:
-        """Does this update arrival trigger the cut-off evaluation?
-
-        The naive variant triggers on every update; the replica-
-        independent fix (§3.6) triggers only on updates for the key's
-        designated replica, so the decision rate does not scale with the
-        replica count.
-        """
-        if not self.replica_independent_cutoff:
-            return True
-        if update.replica_id is None:
-            return True
-        if state.designated_replica is None:
-            state.designated_replica = update.replica_id
-            return True
-        return update.replica_id == state.designated_replica
-
     # ------------------------------------------------------------------
     # Forwarding and control flow downstream
     # ------------------------------------------------------------------
@@ -513,37 +598,71 @@ class CupNode:
         state: KeyState,
         update: UpdateMessage,
         exclude: Optional[NodeId] = None,
-    ) -> set:
-        """Push an update to every interested neighbor (one fork each).
+    ) -> tuple:
+        """Push an update to every interested neighbor.
 
-        Returns the set of neighbors the update actually went to; a
-        push-level gate or capacity suppression removes targets from it
-        (callers use this to rescue waiting queriers with an ungated
-        first-time response).
+        Returns the neighbors the update actually went to (a tuple in
+        deterministic fan-out order); a push-level gate or capacity
+        suppression removes targets from it (callers use this to rescue
+        waiting queriers with an ungated first-time response).
+
+        At full capacity the fan-out is batched: one shared immutable
+        payload travels to all k children as k lightweight envelopes
+        through a single transport call.  Under a fraction/rate
+        constraint — or with ``batched_fanout`` off — the per-child
+        reference path forks and offers one update per neighbor, in the
+        same deterministic order (so capacity coin flips consume the
+        random stream identically).
         """
-        if not state.interest:
-            return set()
-        targets = state.sorted_interest()
+        interest = state.interest
+        if not interest:
+            return ()
+        # Memoized deterministic fan-out order (inlined sorted_interest
+        # read: this runs once per forwarded update).
+        targets = state._interest_sorted
+        if targets is None or len(targets) != len(interest):
+            targets = state.sorted_interest()
         # The push-level gate (§3.3) caps *propagation* — maintenance
         # updates only.  First-time updates are query responses; blocking
         # them would break query resolution itself (a push level of 0
         # must degrade to standard caching, not to silence).
-        if update.update_type != UpdateType.FIRST_TIME and not self.policy.may_forward(
+        if not self._forward_always and update.update_type != UpdateType.FIRST_TIME and not self.policy.may_forward(
             self._distance_for_forwarding(state)
         ):
             self.metrics.updates_suppressed += len(
                 [t for t in targets if t != exclude]
             )
-            return set()
-        delivered = set()
-        for neighbor in targets:
-            if neighbor == exclude:
-                continue
-            if self.channels.push(neighbor, update.fork()):
-                delivered.add(neighbor)
-            else:
-                self.metrics.updates_suppressed += 1
+            return ()
+        if exclude is not None and exclude in interest:
+            targets = tuple(t for t in targets if t != exclude)
+        delivered = self._push_updates(targets, update)
+        suppressed = len(targets) - len(delivered)
+        if suppressed:
+            self.metrics.updates_suppressed += suppressed
         return delivered
+
+    def _push_updates(self, targets: tuple, update: UpdateMessage) -> tuple:
+        """Offer one update to many neighbors; returns those it reached.
+
+        The batched fast path applies when nothing can suppress or
+        reorder the sends (full capacity, no rate pump): the transport
+        fans the shared payload out in one call.  Otherwise each
+        neighbor gets its own channel offer, preserving per-child coin
+        flip order and queue accounting.
+        """
+        if not targets:
+            return ()
+        channels = self.channels
+        if self.batched_fanout and channels.unlimited:
+            self._transport.send_fanout(self.node_id, targets, update)
+            channels.forwarded += len(targets)
+            return targets
+        delivered = []
+        push = channels.push
+        for neighbor in targets:
+            if push(neighbor, update.fork()):
+                delivered.append(neighbor)
+        return tuple(delivered)
 
     def _transmit_update(self, neighbor: NodeId, update: UpdateMessage) -> None:
         """Channel drain callback: put one update on the wire."""

@@ -81,6 +81,12 @@ class CupConfig:
     # "latency" (first-time > delete > refresh > append) or
     # "flash-crowd" (appends promoted to spread load across replicas).
     priority_profile: str = "latency"
+    # Batched update fan-out: one shared payload + k lightweight
+    # envelopes per push instead of k full per-child forks.  Results are
+    # byte-identical either way (property-tested), so — like ``trace`` —
+    # this knob is not part of run-cache keys; False selects the
+    # per-child reference path.
+    batched_fanout: bool = True
 
     # --- content ------------------------------------------------------
     keys_per_node: float = 1.0
@@ -163,6 +169,34 @@ class CupConfig:
         return dataclasses.replace(self, **overrides)
 
 
+def build_overlay(config: CupConfig) -> Overlay:
+    """Construct the overlay topology ``config`` describes.
+
+    A pure function of the config: the only randomness (incremental CAN
+    construction for non-power-of-two sizes) comes from the dedicated
+    ``topology`` stream derived from ``config.seed``, so repeated builds
+    are identical — which is what lets the sweep executor's topology
+    snapshot cache (:mod:`repro.experiments.topology`) share one built
+    overlay across cells.
+    """
+    if config.overlay_type == "can":
+        n = config.num_nodes
+        if n & (n - 1) == 0:
+            return CanOverlay.perfect_grid(n, dims=config.can_dims)
+        overlay = CanOverlay(dims=config.can_dims)
+        rng = RandomStreams(config.seed).get("topology")
+        for i in range(n):
+            point = (
+                tuple(float(x) for x in rng.random(config.can_dims))
+                if i else None
+            )
+            overlay.join(i, point=point)
+        return overlay
+    if config.overlay_type == "pastry":
+        return PastryOverlay.build(range(config.num_nodes))
+    return ChordOverlay.build(range(config.num_nodes))
+
+
 class CupNetwork:
     """A fully wired CUP (or standard-caching) deployment.
 
@@ -173,7 +207,7 @@ class CupNetwork:
     custom experiments.
     """
 
-    def __init__(self, config: CupConfig):
+    def __init__(self, config: CupConfig, topology: Optional[Overlay] = None):
         config.validate()
         self.config = config
         self.policy = config.resolved_policy()
@@ -182,14 +216,28 @@ class CupNetwork:
         self.tracer = Tracer(enabled=config.trace)
         self.transport = Transport(self.sim, default_delay=config.link_delay)
         self.metrics = MetricsCollector()
-        self.transport.add_send_observer(self.metrics.on_send)
+        self.transport.attach_metrics(self.metrics)
 
-        build_started = time.perf_counter()
-        self.overlay = self._build_overlay()
-        # Setup-cost accounting: overlay construction now, lazy per-epoch
-        # route-table rebuilds folded in by _refresh_setup_costs() when a
-        # summary is drawn.  Wall times stay outside MetricsSummary.
-        self._overlay_build_seconds = time.perf_counter() - build_started
+        if topology is not None:
+            # A prebuilt snapshot (the sweep executor's topology cache):
+            # routing is a pure function of membership, so reusing the
+            # built overlay — warm routing memos included — changes no
+            # result, only skips the rebuild.  Membership must then stay
+            # frozen; churn entry points guard on _topology_shared.
+            self.overlay = topology
+            self._topology_shared = True
+            self._overlay_build_seconds = 0.0
+            self._fresh_builds = 0
+        else:
+            build_started = time.perf_counter()
+            self.overlay = self._build_overlay()
+            # Setup-cost accounting: overlay construction now, lazy
+            # per-epoch route-table rebuilds folded in by
+            # _refresh_setup_costs() when a summary is drawn.  Wall
+            # times stay outside MetricsSummary.
+            self._topology_shared = False
+            self._overlay_build_seconds = time.perf_counter() - build_started
+            self._fresh_builds = 1
         self._tables_at_build = (
             self.overlay.table_build_seconds,
             self.overlay.table_builds,
@@ -244,23 +292,7 @@ class CupNetwork:
     # ------------------------------------------------------------------
 
     def _build_overlay(self) -> Overlay:
-        config = self.config
-        if config.overlay_type == "can":
-            n = config.num_nodes
-            if n & (n - 1) == 0:
-                return CanOverlay.perfect_grid(n, dims=config.can_dims)
-            overlay = CanOverlay(dims=config.can_dims)
-            rng = self.streams.get("topology")
-            for i in range(n):
-                point = (
-                    tuple(float(x) for x in rng.random(config.can_dims))
-                    if i else None
-                )
-                overlay.join(i, point=point)
-            return overlay
-        if config.overlay_type == "pastry":
-            return PastryOverlay.build(range(config.num_nodes))
-        return ChordOverlay.build(range(config.num_nodes))
+        return build_overlay(self.config)
 
     def _create_node(self, node_id: NodeId) -> CupNode:
         config = self.config
@@ -283,6 +315,7 @@ class CupNetwork:
             refresh_aggregation_window=config.refresh_aggregation_window,
             refresh_sample_fraction=config.refresh_sample_fraction,
             channel_priorities=PRIORITY_PROFILES[config.priority_profile],
+            batched_fanout=config.batched_fanout,
         )
         self.nodes[node_id] = node
         self.transport.register(node_id, node)
@@ -312,9 +345,15 @@ class CupNetwork:
     # ------------------------------------------------------------------
 
     def _gc_tick(self) -> None:
+        # One sweep visits every node; at large N the per-node constant
+        # dominates the tick, so nodes with no cached key state (common
+        # in wide networks with few hot keys) are skipped without the
+        # two call frames a full node.gc() would cost.
+        now = self.sim.now
         for node in self.nodes.values():
-            node.gc()
-        if self.sim.now < self.config.sim_end:
+            if node.cache.states:
+                node.cache.gc(now)
+        if now < self.config.sim_end:
             self.sim.schedule(self.config.gc_interval, self._gc_tick)
 
     def _failure_sweep_tick(self) -> None:
@@ -385,7 +424,8 @@ class CupNetwork:
             + self.overlay.table_build_seconds - base_seconds
         )
         self.metrics.routing_table_builds = (
-            1 + self.overlay.table_builds - base_builds
+            getattr(self, "_fresh_builds", 1)
+            + self.overlay.table_builds - base_builds
         )
 
     def run(self) -> MetricsSummary:
@@ -520,6 +560,7 @@ class CupNetwork:
         node = self.nodes.get(node_id)
         if node is None:
             raise ValueError(f"node {node_id!r} is not a member")
+        self._require_private_topology("crash_node")
         if node.keepalive_monitor is not None:
             node.keepalive_monitor.stop()
         self.transport.unregister(node_id)
@@ -545,10 +586,27 @@ class CupNetwork:
     def live_node_ids(self) -> List[NodeId]:
         return self._member_list
 
+    def _require_private_topology(self, operation: str) -> None:
+        """Reject membership changes on a shared topology snapshot.
+
+        A network built from the executor's topology cache shares one
+        overlay object with other runs; mutating its membership would
+        corrupt every simulation leasing the same snapshot.  The
+        executor only shares snapshots with churn-free cells, so this
+        guard can fire only on direct misuse — loudly, not subtly.
+        """
+        if getattr(self, "_topology_shared", False):
+            raise RuntimeError(
+                f"{operation} on a network built from a shared topology "
+                "snapshot; construct the CupNetwork without `topology=` "
+                "for runs that change membership"
+            )
+
     def join_node(self, node_id: NodeId) -> CupNode:
         """A new node joins: overlay split, index handover, wiring."""
         if node_id in self.nodes:
             raise ValueError(f"node {node_id!r} is already a member")
+        self._require_private_topology("join_node")
         if isinstance(self.overlay, CanOverlay):
             self.overlay.join(node_id)
         else:
@@ -569,6 +627,7 @@ class CupNetwork:
         node = self.nodes.get(node_id)
         if node is None:
             raise ValueError(f"node {node_id!r} is not a member")
+        self._require_private_topology("leave_node")
         former_neighbors = list(self.overlay.neighbors(node_id))
         departing_index = node.authority_index
         self.overlay.leave(node_id)

@@ -24,6 +24,7 @@ Worker-count resolution: explicit ``workers=`` argument >
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import multiprocessing
 import os
@@ -39,7 +40,7 @@ from typing import (
 )
 
 from repro.core.protocol import CupConfig, CupNetwork
-from repro.experiments import runcache
+from repro.experiments import runcache, topology
 from repro.experiments.runner import _cache_key, memo_get, memo_put
 from repro.metrics.collector import MetricsSummary
 from repro.scenarios.dsl import Scenario
@@ -120,17 +121,30 @@ def cell_key(cell: Cell) -> tuple:
 
 
 def run_cell(cell: Cell) -> MetricsSummary:
-    """Execute one cell from scratch, bypassing every cache layer."""
+    """Execute one cell from scratch, bypassing every result cache.
+
+    Topology is the exception: churn-free cells lease their built
+    overlay from the process-local snapshot cache
+    (:mod:`repro.experiments.topology`), so a sweep pays the build and
+    the route-memo warm-up once per distinct topology per worker, not
+    once per cell.  Cells whose scenario declares a churn or crash
+    hazard mutate membership and always build privately.
+    """
     if cell.scenario is not None:
         scenario = cell.scenario
-        net = CupNetwork(scenario.build_config(base=cell.config))
+        config = scenario.build_config(base=cell.config)
+        if scenario.hazards() & {"churn", "crash"}:
+            net = CupNetwork(config)
+        else:
+            net = CupNetwork(config, topology=topology.lease(config))
         scenario.compile_onto(net)
         return net.run()
     if cell.faults is None:
-        return CupNetwork(cell.config).run()
+        config = cell.config
+        return CupNetwork(config, topology=topology.lease(config)).run()
     spec = cell.faults
     config = cell.config
-    net = CupNetwork(config)
+    net = CupNetwork(config, topology=topology.lease(config))
     schedule = CapacityFaultSchedule(
         net.sim,
         list(net.nodes),
@@ -185,6 +199,43 @@ def default_workers() -> int:
 # ----------------------------------------------------------------------
 
 CellsInput = Union[Iterable[Cell], Mapping[Hashable, CupConfig]]
+
+# ----------------------------------------------------------------------
+# Persistent worker pool
+# ----------------------------------------------------------------------
+#
+# A sweep is often submitted as several execute() batches (one per table
+# row, or one per harness in a CLI `run all`).  Tearing the pool down
+# between batches would discard every worker's warm state — imported
+# modules and, above all, the per-process topology snapshot cache — so
+# the pool persists across calls and is only rebuilt when the requested
+# worker count changes.
+
+_pool = None
+_pool_processes = 0
+
+
+def _get_pool(processes: int):
+    global _pool, _pool_processes
+    if _pool is not None and _pool_processes != processes:
+        shutdown_pool()
+    if _pool is None:
+        _pool = multiprocessing.get_context().Pool(processes=processes)
+        _pool_processes = processes
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Terminate the persistent worker pool (tests, process exit)."""
+    global _pool, _pool_processes
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+        _pool = None
+        _pool_processes = 0
+
+
+atexit.register(shutdown_pool)
 
 
 def _normalize(cells: CellsInput) -> List[Cell]:
@@ -254,13 +305,14 @@ def execute(
                     disk.put(key, summary)
 
         if count > 1 and len(items) > 1:
-            with multiprocessing.get_context().Pool(
-                processes=min(count, len(items))
-            ) as pool:
-                for key, summary in pool.imap_unordered(
-                    _run_keyed, items, chunksize=1
-                ):
-                    settle(key, summary)
+            # The persistent pool is sized by the requested worker count
+            # (not the batch): a sweep's batches reuse the same workers
+            # and their warm topology snapshots.
+            pool = _get_pool(count)
+            for key, summary in pool.imap_unordered(
+                _run_keyed, items, chunksize=1
+            ):
+                settle(key, summary)
         else:
             for item in items:
                 settle(*_run_keyed(item))

@@ -47,8 +47,12 @@ FINGERPRINTED_PACKAGES = (
 )
 
 #: Files outside those packages that still shape results —
-#: ``executor.py`` builds the network/fault schedule for every cell.
-FINGERPRINTED_FILES = ("experiments/executor.py",)
+#: ``executor.py`` builds the network/fault schedule for every cell and
+#: ``topology.py`` decides how cells share built overlays.
+FINGERPRINTED_FILES = (
+    "experiments/executor.py",
+    "experiments/topology.py",
+)
 
 _fingerprint: Optional[str] = None
 

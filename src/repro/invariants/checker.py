@@ -152,11 +152,13 @@ class InvariantChecker:
         self._watermarks: Dict[Tuple[Any, str, str], int] = {}
         # Fingerprints of delivered updates for duplicate detection.
         self._delivered: Set[tuple] = set()
-        # Independent tallies, compared against MetricsCollector.
-        self._hops: Dict[str, int] = {
-            "query": 0, "clear_bit": 0,
-            **{f"update:{t.value}": 0 for t in UpdateType},
-        }
+        # Independent tallies, compared against MetricsCollector.  The
+        # update tally is a flat list indexed by UpdateType (this
+        # observer fires on every overlay hop; building a dict key per
+        # hop would dominate checked runs).
+        self._query_hops = 0
+        self._clear_bit_hops = 0
+        self._update_hop_tally = [0, 0, 0, 0]
         self._posted = 0
         self._immediate_hits = 0
         self._answers = 0
@@ -204,9 +206,11 @@ class InvariantChecker:
         """Independent hop tally; wired as a second transport observer."""
         kind = message.kind
         if kind == "update":
-            self._hops[f"update:{message.update_type.value}"] += 1
-        elif kind in ("query", "clear_bit"):
-            self._hops[kind] += 1
+            self._update_hop_tally[message.update_type] += 1
+        elif kind == "query":
+            self._query_hops += 1
+        elif kind == "clear_bit":
+            self._clear_bit_hops += 1
 
     # ------------------------------------------------------------------
     # Node probes (called from CupNode when a checker is attached)
@@ -402,12 +406,12 @@ class InvariantChecker:
     def _check_cost_balance(self) -> None:
         metrics = self.network.metrics
         for name, ours, theirs in (
-            ("query_hops", self._hops["query"], metrics.query_hops),
-            ("clear_bit_hops", self._hops["clear_bit"], metrics.clear_bit_hops),
+            ("query_hops", self._query_hops, metrics.query_hops),
+            ("clear_bit_hops", self._clear_bit_hops, metrics.clear_bit_hops),
             *(
                 (
                     f"update_hops[{t.value}]",
-                    self._hops[f"update:{t.value}"],
+                    self._update_hop_tally[t],
                     metrics.update_hops[t],
                 )
                 for t in UpdateType

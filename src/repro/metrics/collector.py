@@ -26,8 +26,13 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         # --- hop counters (one increment per overlay-hop send) --------
+        # Update hops live in a flat list indexed by the UpdateType
+        # value (first-time=0, delete=1, refresh=2, append=3): the send
+        # observer fires once per overlay hop, and a list index plus an
+        # integer add beats the former dict-of-dicts bookkeeping.  The
+        # dict-shaped ``update_hops`` view is derived on demand.
         self.query_hops = 0
-        self.update_hops: Dict[UpdateType, int] = {t: 0 for t in UpdateType}
+        self._update_hops = [0, 0, 0, 0]
         self.clear_bit_hops = 0
         # --- query outcome counters (posting-node view) ---------------
         self.queries_posted = 0
@@ -67,33 +72,32 @@ class MetricsCollector:
         # steady-state throughput.
         self.routing_build_seconds = 0.0
         self.routing_table_builds = 0
-        # Per-kind counter binding for the send observer: one dict probe
-        # and a bound-method call per hop instead of a string-comparison
-        # chain (the observer fires on every overlay-hop send).
-        self._send_counters = {
-            "query": self._count_query_hop,
-            "update": self._count_update_hop,
-            "clear_bit": self._count_clear_bit_hop,
-        }
 
     # ------------------------------------------------------------------
     # Transport observer
     # ------------------------------------------------------------------
 
     def on_send(self, src: NodeId, dst: NodeId, message: Message) -> None:
-        """Classify one overlay-hop send (wired as a transport observer)."""
-        counter = self._send_counters.get(message.kind)
-        if counter is not None:
-            counter(message)
+        """Classify one overlay-hop send (wired as a transport observer).
 
-    def _count_query_hop(self, message: Message) -> None:
-        self.query_hops += 1
+        The hottest observer in the system — once per overlay hop — so
+        it is a branch over interned kind strings into flat integer
+        slots, no dispatch dict and no per-kind method frame.  Updates
+        dominate every CUP workload and are tested first.
+        """
+        kind = message.kind
+        if kind == "update":
+            self._update_hops[message.update_type] += 1
+        elif kind == "query":
+            self.query_hops += 1
+        elif kind == "clear_bit":
+            self.clear_bit_hops += 1
 
-    def _count_update_hop(self, message: Message) -> None:
-        self.update_hops[message.update_type] += 1
-
-    def _count_clear_bit_hop(self, message: Message) -> None:
-        self.clear_bit_hops += 1
+    @property
+    def update_hops(self) -> Dict[UpdateType, int]:
+        """Per-type update hop counts (derived view of the flat slots)."""
+        hops = self._update_hops
+        return {t: hops[t] for t in UpdateType}
 
     # ------------------------------------------------------------------
     # Setup-cost accounting
@@ -152,15 +156,16 @@ class MetricsCollector:
 
     @property
     def first_time_update_hops(self) -> int:
-        return self.update_hops[UpdateType.FIRST_TIME]
+        return self._update_hops[UpdateType.FIRST_TIME]
 
     @property
     def maintenance_update_hops(self) -> int:
         """Refresh + delete + append hops (the pushed-update overhead)."""
+        hops = self._update_hops
         return (
-            self.update_hops[UpdateType.REFRESH]
-            + self.update_hops[UpdateType.DELETE]
-            + self.update_hops[UpdateType.APPEND]
+            hops[UpdateType.REFRESH]
+            + hops[UpdateType.DELETE]
+            + hops[UpdateType.APPEND]
         )
 
     @property
@@ -200,9 +205,9 @@ class MetricsCollector:
         return MetricsSummary(
             query_hops=self.query_hops,
             first_time_update_hops=self.first_time_update_hops,
-            refresh_hops=self.update_hops[UpdateType.REFRESH],
-            delete_hops=self.update_hops[UpdateType.DELETE],
-            append_hops=self.update_hops[UpdateType.APPEND],
+            refresh_hops=self._update_hops[UpdateType.REFRESH],
+            delete_hops=self._update_hops[UpdateType.DELETE],
+            append_hops=self._update_hops[UpdateType.APPEND],
             clear_bit_hops=self.clear_bit_hops,
             miss_cost=self.miss_cost,
             overhead_cost=self.overhead_cost,

@@ -459,6 +459,13 @@ class CanOverlay(Overlay):
         return self._owner_of_scan(hash_to_unit_point(key, self.dims))
 
     def _compute_next_hop(self, node_id: NodeId, key: str) -> Optional[NodeId]:
+        grid = self._grid
+        if (
+            grid is not None
+            and isinstance(node_id, int)
+            and 0 <= node_id < grid[0] * grid[1]
+        ):
+            return self._grid_next_hop(node_id, key, grid)
         state = self._nodes.get(node_id)
         if state is None:
             raise RoutingError(f"node {node_id!r} is not a member")
@@ -485,3 +492,92 @@ class CanOverlay(Overlay):
                 f"(distance {my_distance:g}, {len(state.neighbors)} neighbors)"
             )
         return best
+
+    def _grid_next_hop(
+        self, node_id: int, key: str, grid: Tuple[int, int]
+    ) -> Optional[NodeId]:
+        """Greedy next hop by pure cell arithmetic on the perfect grid.
+
+        Bit-for-bit equivalent to the generic zone walk above: every
+        zone edge of a :meth:`perfect_grid` sits at ``c / cols`` with
+        ``cols`` a power of two, so the containment test, the squared
+        torus distances (same float expressions, same summation order)
+        and the ``(distance, str(id))`` tie-break all reproduce the
+        generic computation exactly — it just skips the per-zone object
+        walk, which is a first-touch cost paid once per (node, key) and
+        grows linearly with N.  The property suite referees this against
+        ``next_hop_reference``.
+        """
+        cols, rows = grid
+        x, y = self._key_point(key)
+        # Multiplying by a power of two is exact, so the cell indices
+        # reproduce the half-open zone-containment test bit for bit.
+        target_col = int(x * cols)
+        target_row = int(y * rows)
+        row, col = divmod(node_id, cols)
+        if target_col == col and target_row == row:
+            return None
+        my_distance = self._cell_distance(col, row, x, y, cols, rows)
+        best: Optional[NodeId] = None
+        best_rank: Tuple[float, str] = (float("inf"), "")
+        for neighbor_row, neighbor_col in {
+            (row, (col + 1) % cols),
+            (row, (col - 1) % cols),
+            ((row + 1) % rows, col),
+            ((row - 1) % rows, col),
+        }:
+            if neighbor_row == row and neighbor_col == col:
+                continue
+            d = self._cell_distance(
+                neighbor_col, neighbor_row, x, y, cols, rows
+            )
+            if d >= my_distance:
+                continue
+            neighbor_id = neighbor_row * cols + neighbor_col
+            rank = (d, str(neighbor_id))
+            if rank < best_rank:
+                best_rank = rank
+                best = neighbor_id
+        if best is None:
+            raise RoutingError(
+                f"greedy routing stuck at {node_id!r} for key {key!r} "
+                f"(distance {my_distance:g}, grid {cols}x{rows})"
+            )
+        return best
+
+    @staticmethod
+    def _cell_distance(
+        col: int, row: int, x: float, y: float, cols: int, rows: int
+    ) -> float:
+        """Squared torus distance from grid cell ``(col, row)`` to a point.
+
+        The same float expressions :meth:`Zone.torus_distance` evaluates
+        for the cell's zone, inlined: per dimension, zero inside the
+        half-open extent, else the nearer circle distance to either
+        edge, squared and summed in dimension order.
+        """
+        lo = col / cols
+        hi = (col + 1) / cols
+        if lo <= x < hi:
+            dx = 0.0
+        else:
+            d1 = abs(x - lo)
+            if 1.0 - d1 < d1:
+                d1 = 1.0 - d1
+            d2 = abs(x - hi)
+            if 1.0 - d2 < d2:
+                d2 = 1.0 - d2
+            dx = d2 if d2 < d1 else d1
+        lo = row / rows
+        hi = (row + 1) / rows
+        if lo <= y < hi:
+            dy = 0.0
+        else:
+            d1 = abs(y - lo)
+            if 1.0 - d1 < d1:
+                d1 = 1.0 - d1
+            d2 = abs(y - hi)
+            if 1.0 - d2 < d2:
+                d2 = 1.0 - d2
+            dy = d2 if d2 < d1 else d1
+        return dx * dx + dy * dy

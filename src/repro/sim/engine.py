@@ -25,6 +25,7 @@ Typical usage::
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
 import math
@@ -92,7 +93,11 @@ class Simulator:
     """
 
     def __init__(self, start_time: float = 0.0):
-        self._now = float(start_time)
+        #: Current simulation time in seconds.  A plain attribute, not a
+        #: property: the clock is read on every message handled and a
+        #: Python-level descriptor call per read would tax the whole
+        #: simulation.  Only the engine writes it.
+        self.now = float(start_time)
         # Heap of (time, seq, Event); tuple comparison never reaches the
         # Event because (time, seq) is unique per entry.
         self._heap: list = []
@@ -107,11 +112,6 @@ class Simulator:
     # ------------------------------------------------------------------
     # Clock
     # ------------------------------------------------------------------
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
 
     @property
     def pending(self) -> int:
@@ -137,17 +137,34 @@ class Simulator:
                     f"cannot schedule {delay} seconds in the past"
                 )
             raise SimulatorError(f"invalid delay: {delay}")
-        time = self._now + delay
+        time = self.now + delay
         event = Event(time, next(self._seq), fn, args, self)
         self._live += 1
         heapq.heappush(self._heap, (time, event.seq, event))
         return event
 
+    def schedule_hop(self, delay: float, fn: Callable[..., Any], args: tuple) -> None:
+        """Trusted fast-path scheduling for transport deliveries.
+
+        Semantically :meth:`schedule` minus what deliveries never use:
+        no cancellation handle, no delay validation (link delays are
+        validated once at registration), and no :class:`Event` object —
+        the heap entry carries a bare ``(fn, args)`` pair, saving an
+        allocation and an ``__init__`` frame on the busiest event class
+        in the system.  Timestamp and tie-break sequence are drawn from
+        the same clock and counter as :meth:`schedule`, so interleaving
+        both paths preserves deterministic ordering exactly.
+        """
+        self._live += 1
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._seq), (fn, args))
+        )
+
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
-        if time < self._now:
+        if time < self.now:
             raise SimulatorError(
-                f"cannot schedule at t={time} (clock already at t={self._now})"
+                f"cannot schedule at t={time} (clock already at t={self.now})"
             )
         event = Event(time, next(self._seq), fn, args, self)
         self._live += 1
@@ -165,11 +182,18 @@ class Simulator:
         """
         while self._heap:
             time, _, event = heapq.heappop(self._heap)
+            if event.__class__ is tuple:
+                # Bare (fn, args) hop entry from schedule_hop.
+                self._live -= 1
+                self.now = time
+                self.events_processed += 1
+                event[0](*event[1])
+                return True
             if event.cancelled:
                 continue
             self._live -= 1
             event._sim = None
-            self._now = time
+            self.now = time
             self.events_processed += 1
             event.fn(*event.args)
             return True
@@ -189,13 +213,13 @@ class Simulator:
         simulation can be resumed with another ``run_until`` or ``run``.
         Returns the number of events processed by this call.
         """
-        if deadline < self._now:
+        if deadline < self.now:
             raise SimulatorError(
-                f"deadline t={deadline} is before current time t={self._now}"
+                f"deadline t={deadline} is before current time t={self.now}"
             )
         processed = self._run_loop(deadline=deadline, max_events=max_events)
         if not self._stopped:
-            self._now = max(self._now, deadline)
+            self.now = max(self.now, deadline)
         return processed
 
     def stop(self) -> None:
@@ -210,26 +234,53 @@ class Simulator:
         processed = 0
         # Hot-loop locals: attribute and global lookups cost a dict probe
         # per event otherwise, and this loop runs once per simulated event.
+        # ``events_processed`` is accumulated locally and folded back in
+        # the ``finally`` — grouped deliveries adjust the attribute
+        # directly mid-run, and integer adds commute, so the final total
+        # is exact either way.
         heap = self._heap
         heappop = heapq.heappop
-        unbounded = max_events is None
+        limit = math.inf if max_events is None else max_events
+        horizon = math.inf if deadline is None else deadline
+        # The loop allocates heavily (messages, envelopes, heap entries)
+        # and none of that garbage is cyclic — everything frees by
+        # reference counting the moment it is handled.  CPython's
+        # generational collector would still scan the young generation
+        # every few hundred net allocations, a cost that grows with the
+        # event count, so it is parked for the duration of the loop.
+        cyclic_gc = gc.isenabled()
+        if cyclic_gc:
+            gc.disable()
         try:
             while heap and not self._stopped:
-                if not unbounded and processed >= max_events:
+                if processed >= limit:
                     break
                 time, _, event = heap[0]
+                if event.__class__ is tuple:
+                    # Bare (fn, args) hop entry from schedule_hop — the
+                    # bulk of every run; never cancellable.
+                    if time > horizon:
+                        break
+                    heappop(heap)
+                    self._live -= 1
+                    self.now = time
+                    processed += 1
+                    event[0](*event[1])
+                    continue
                 if event.cancelled:
                     heappop(heap)
                     continue
-                if deadline is not None and time > deadline:
+                if time > horizon:
                     break
                 heappop(heap)
                 self._live -= 1
                 event._sim = None
-                self._now = time
-                self.events_processed += 1
+                self.now = time
                 processed += 1
                 event.fn(*event.args)
         finally:
             self._running = False
+            self.events_processed += processed
+            if cyclic_gc:
+                gc.enable()
         return processed

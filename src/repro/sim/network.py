@@ -101,11 +101,21 @@ class Transport:
         self._sim = sim
         self.default_delay = default_delay
         self._handlers: Dict[NodeId, MessageHandler] = {}
+        # Bound ``receive`` methods, maintained alongside _handlers: the
+        # delivery hot path calls straight into the handler without a
+        # per-delivery attribute lookup and method bind.
+        self._receivers: Dict[NodeId, Callable] = {}
         # Directed delay registry: every registered link stores *both*
         # ``(a, b)`` and ``(b, a)``, so the send hot path is a single
         # dict probe — no Link construction, no canonicalization.
         self._delays: Dict[Tuple[NodeId, NodeId], float] = {}
         self._send_observers: List[SendObserver] = []
+        # The standard metrics collector, when attached via
+        # attach_metrics(): its hop counters are incremented inline on
+        # the send path instead of through a Python observer call per
+        # hop.  Extra observers (invariant checkers, test probes) still
+        # go through the _send_observers list.
+        self._hop_collector = None
         # Drop/heal rule layer (partitions, lossy links): rules are
         # consulted on every overlay-hop send while any is installed;
         # the registry is empty in the common case so the hot path pays
@@ -125,10 +135,12 @@ class Transport:
     def register(self, node_id: NodeId, handler: MessageHandler) -> None:
         """Attach a node.  Re-registering an id replaces its handler."""
         self._handlers[node_id] = handler
+        self._receivers[node_id] = handler.receive
 
     def unregister(self, node_id: NodeId) -> None:
         """Detach a node; in-flight messages to it will be dropped."""
         self._handlers.pop(node_id, None)
+        self._receivers.pop(node_id, None)
         stale = [key for key in self._delays
                  if key[0] == node_id or key[1] == node_id]
         for key in stale:
@@ -214,6 +226,19 @@ class Transport:
         """
         self._send_observers.append(observer)
 
+    def attach_metrics(self, collector) -> None:
+        """Wire the standard metrics collector's hop accounting inline.
+
+        Counts the same hops, at the same instant, as
+        ``add_send_observer(collector.on_send)`` would — but through
+        direct counter increments on the send path rather than a Python
+        call per hop.  At most one collector can be attached this way;
+        anything else observing sends uses :meth:`add_send_observer`.
+        """
+        if self._hop_collector is not None:
+            raise RuntimeError("a metrics collector is already attached")
+        self._hop_collector = collector
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
@@ -228,10 +253,19 @@ class Transport:
             raise ValueError(f"node {src!r} attempted to send to itself")
         self.sent += 1
         message.hops += 1
+        collector = self._hop_collector
+        if collector is not None:
+            kind = message.kind
+            if kind == "update":
+                collector._update_hops[message.update_type] += 1
+            elif kind == "query":
+                collector.query_hops += 1
+            elif kind == "clear_bit":
+                collector.clear_bit_hops += 1
         observers = self._send_observers
         if observers:
-            # Nearly every run attaches exactly one observer (the metrics
-            # collector); call it directly instead of looping.
+            # Nearly every run attaches at most one extra observer (an
+            # invariant checker); call it directly instead of looping.
             if len(observers) == 1:
                 observers[0](src, dst, message)
             else:
@@ -245,7 +279,112 @@ class Transport:
         delay = self._delays.get((src, dst))
         if delay is None:
             delay = self.default_delay
-        self._sim.schedule(delay, self._deliver, src, dst, message)
+        self._sim.schedule_hop(delay, self._deliver, (src, dst, message))
+
+    def send_fanout(self, src: NodeId, dsts, message: Message) -> None:
+        """Send one update to many direct neighbors (one hop each).
+
+        Semantically identical to ``message.fork()`` + :meth:`send` per
+        destination, performed back-to-back: every destination gets its
+        own envelope (so per-branch hop counters stay independent),
+        observers fire once per hop, and drop rules are consulted per
+        hop.  The fast path batches the k same-delay deliveries into one
+        scheduled event instead of k — :meth:`_deliver_many` preserves
+        the ``events_processed`` unit by counting one processed event
+        per delivered message, so throughput trajectories stay
+        comparable across the grouped and ungrouped paths.
+
+        Only safe between distinct endpoints (callers pass interest
+        sets, which never contain the sending node itself).
+        """
+        count = len(dsts)
+        self.sent += count
+        hops = message.hops + 1
+        collector = self._hop_collector
+        if collector is not None:
+            # Every envelope of the fan-out carries the same kind and
+            # update type, so the k per-hop increments collapse into one
+            # bulk add — identical totals, no per-child accounting.
+            kind = message.kind
+            if kind == "update":
+                collector._update_hops[message.update_type] += count
+            elif kind == "query":
+                collector.query_hops += count
+            elif kind == "clear_bit":
+                collector.clear_bit_hops += count
+        observers = self._send_observers
+        fork = message.fork
+        if not self._drop_rules and not self._delays:
+            if count == 1:
+                # Chain hop (one interested child — the common shape of
+                # a propagation tree): skip the batch list entirely.
+                dst = dsts[0]
+                envelope = fork()
+                envelope.hops = hops
+                for observer in observers:
+                    observer(src, dst, envelope)
+                self._sim.schedule_hop(
+                    self.default_delay, self._deliver, (src, dst, envelope)
+                )
+                return
+            # Uniform-delay, rule-free overlay: one grouped delivery.
+            pairs = []
+            append = pairs.append
+            if observers:
+                for dst in dsts:
+                    envelope = fork()
+                    envelope.hops = hops
+                    for observer in observers:
+                        observer(src, dst, envelope)
+                    append((dst, envelope))
+            else:
+                for dst in dsts:
+                    envelope = fork()
+                    envelope.hops = hops
+                    append((dst, envelope))
+            self._sim.schedule_hop(
+                self.default_delay, self._deliver_many, (src, pairs)
+            )
+            return
+        # Per-link delays or drop rules installed: fall back to the
+        # per-destination schedule (still sharing the payload).
+        for dst in dsts:
+            envelope = fork()
+            envelope.hops = hops
+            for observer in observers:
+                observer(src, dst, envelope)
+            blocked = False
+            for rule in self._drop_rules.values():
+                if rule(src, dst, envelope):
+                    self.blocked += 1
+                    blocked = True
+                    break
+            if blocked:
+                continue
+            delay = self._delays.get((src, dst))
+            if delay is None:
+                delay = self.default_delay
+            self._sim.schedule_hop(delay, self._deliver, (src, dst, envelope))
+
+    def _deliver_many(self, src: NodeId, pairs) -> None:
+        """Grouped delivery of one fan-out batch (same instant, in order).
+
+        Equivalent to the per-destination delivery events it replaces:
+        consecutive sequence numbers would have made those fire
+        back-to-back anyway, and each destination's handler is looked up
+        at delivery time, so churn between send and delivery drops
+        exactly the messages it would have dropped hop by hop.
+        """
+        sim = self._sim
+        sim.events_processed += len(pairs) - 1
+        receivers = self._receivers
+        for dst, envelope in pairs:
+            receive = receivers.get(dst)
+            if receive is None:
+                self.dropped += 1
+            else:
+                self.delivered += 1
+                receive(envelope, src)
 
     def send_direct(self, dst: NodeId, message: Message, delay: float = 0.0,
                     src: NodeId = None) -> None:
@@ -258,9 +397,9 @@ class Transport:
         self._sim.schedule(delay, self._deliver, src, dst, message)
 
     def _deliver(self, src: NodeId, dst: NodeId, message: Message) -> None:
-        handler = self._handlers.get(dst)
-        if handler is None:
+        receive = self._receivers.get(dst)
+        if receive is None:
             self.dropped += 1
             return
         self.delivered += 1
-        handler.receive(message, src)
+        receive(message, src)

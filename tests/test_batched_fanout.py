@@ -1,0 +1,179 @@
+"""Batched fan-out ≡ per-child reference path.
+
+The batched update fan-out (one shared payload + k envelopes through a
+single transport call, grouped same-delay delivery) must be *observably
+identical* to the retained per-child path (`batched_fanout=False`): same
+``MetricsSummary``, same invariant-checker verdicts, same per-node cache
+state, same transport totals, and the same ``events_processed`` (grouped
+deliveries count one processed event per delivered message by design).
+
+Covered deterministically for every built-in scenario — churn,
+partitions, flash crowds, capacity faults and the perfect storm all
+composed in — and fuzzed by hypothesis over configs that exercise the
+rate pump and fractional capacity (where the per-child path is the only
+legal one) alongside full-capacity batching.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import CupConfig, CupNetwork
+from repro.scenarios import SCENARIOS
+from repro.scenarios.dsl import default_base_config
+from repro.scenarios.runner import run_scenario
+
+
+def _node_cache_state(net: CupNetwork) -> dict:
+    """Canonical per-node cache picture for equality comparison."""
+    picture = {}
+    for node_id, node in net.nodes.items():
+        states = {}
+        for state in node.cache:
+            states[state.key] = (
+                tuple(sorted(
+                    (rid, e.sequence, e.timestamp, e.lifetime, e.address)
+                    for rid, e in state.entries.items()
+                )),
+                frozenset(state.interest),
+                frozenset(state.waiting),
+                state.local_waiters,
+                state.popularity,
+                state.pending_first_update,
+                state.designated_replica,
+                state.clear_bit_sent,
+            )
+        picture[node_id] = states
+    return picture
+
+
+def _transport_totals(net: CupNetwork) -> tuple:
+    t = net.transport
+    return (t.sent, t.sent_direct, t.delivered, t.dropped, t.blocked)
+
+
+def _run_config_both_paths(config: CupConfig):
+    batched = CupNetwork(config.variant(batched_fanout=True))
+    reference = CupNetwork(config.variant(batched_fanout=False))
+    return (
+        (batched, batched.run()),
+        (reference, reference.run()),
+    )
+
+
+def _assert_equivalent(batched_pair, reference_pair):
+    (batched_net, batched_summary) = batched_pair
+    (reference_net, reference_summary) = reference_pair
+    assert batched_summary == reference_summary
+    assert _transport_totals(batched_net) == _transport_totals(reference_net)
+    assert (
+        batched_net.sim.events_processed
+        == reference_net.sim.events_processed
+    )
+    assert _node_cache_state(batched_net) == _node_cache_state(reference_net)
+
+
+BASE = CupConfig(
+    num_nodes=64, total_keys=4, query_rate=4.0, seed=11,
+    entry_lifetime=60.0, query_start=60.0, query_duration=240.0, drain=60.0,
+    gc_interval=60.0,
+)
+
+
+class TestDeterministicEquivalence:
+    def test_plain_cup_run(self):
+        _assert_equivalent(*_run_config_both_paths(BASE))
+
+    def test_multi_replica_zipf(self):
+        config = BASE.variant(
+            replicas_per_key=3, key_distribution="zipf", seed=5
+        )
+        _assert_equivalent(*_run_config_both_paths(config))
+
+    def test_rate_limited_channels(self):
+        # The pump path never batches; both flags must still agree.
+        config = BASE.variant(capacity_rate=5.0)
+        _assert_equivalent(*_run_config_both_paths(config))
+
+    def test_fractional_capacity(self):
+        config = BASE.variant(capacity_fraction=0.5)
+        _assert_equivalent(*_run_config_both_paths(config))
+
+    def test_push_level_gate(self):
+        # A gating policy bypasses the inlined no-gate fast path.
+        config = BASE.variant(policy="push-level:3")
+        _assert_equivalent(*_run_config_both_paths(config))
+
+    def test_standard_caching_baseline(self):
+        config = BASE.variant(mode="standard")
+        _assert_equivalent(*_run_config_both_paths(config))
+
+    @pytest.mark.parametrize("overlay_type", ["chord", "pastry"])
+    def test_other_overlays(self, overlay_type):
+        config = BASE.variant(overlay_type=overlay_type, num_nodes=48)
+        _assert_equivalent(*_run_config_both_paths(config))
+
+
+class TestScenarioEquivalence:
+    """Batched ≡ per-child under every built-in adversarial scenario.
+
+    Churn and partitions exercise the paths batching must respect:
+    envelopes crossing a partition are dropped per child by the rule
+    layer, and deliveries to departed nodes are dropped at delivery
+    time whether grouped or not.
+    """
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_builtin_scenario(self, name):
+        scenario = SCENARIOS[name]
+        results = {}
+        for batched in (True, False):
+            result = run_scenario(
+                scenario,
+                seed=42,
+                invariants=True,
+                raise_on_violation=False,
+                base_config=default_base_config().variant(
+                    batched_fanout=batched
+                ),
+            )
+            assert result.ok, (name, batched, result.violations)
+            results[batched] = result
+        assert results[True].summary == results[False].summary
+        assert (
+            results[True].checker.updates_seen
+            == results[False].checker.updates_seen
+        )
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    num_nodes=st.sampled_from([16, 32, 64]),
+    total_keys=st.integers(min_value=1, max_value=4),
+    replicas=st.integers(min_value=1, max_value=2),
+    capacity=st.sampled_from([
+        (1.0, None), (0.6, None), (1.0, 8.0), (0.8, 4.0),
+    ]),
+    mode=st.sampled_from(["cup", "standard-coalescing"]),
+)
+@settings(max_examples=12, deadline=None)
+def test_batched_equals_reference_fuzz(
+    seed, num_nodes, total_keys, replicas, capacity, mode
+):
+    fraction, rate = capacity
+    config = CupConfig(
+        num_nodes=num_nodes,
+        total_keys=total_keys,
+        replicas_per_key=replicas,
+        capacity_fraction=fraction,
+        capacity_rate=rate,
+        mode=mode,
+        query_rate=3.0,
+        seed=seed,
+        entry_lifetime=40.0,
+        query_start=40.0,
+        query_duration=120.0,
+        drain=40.0,
+        gc_interval=40.0,
+    )
+    _assert_equivalent(*_run_config_both_paths(config))

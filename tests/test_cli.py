@@ -79,3 +79,32 @@ class TestScenariosCommands:
         out = capsys.readouterr().out
         for name in SCENARIOS:
             assert f"scenario {name!r}" in out
+
+
+class TestProfileCommand:
+    @pytest.fixture(autouse=True)
+    def _restore_execution_state(self):
+        from repro.experiments import executor, runcache
+
+        saved = runcache.snapshot()
+        yield
+        runcache.restore(saved)
+        executor.configure(None)
+
+    def test_profile_unknown_harness(self, capsys):
+        assert main(["profile", "nope"]) == 2
+        assert "unknown harness" in capsys.readouterr().err
+
+    def test_profile_macro_cell(self, capsys):
+        status = main([
+            "profile", "macro", "--scale", "tiny", "--nodes", "16",
+            "--top", "5", "--sort", "tottime",
+        ])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "profiling macro cell" in out
+        assert "cumtime" in out  # pstats table rendered
+
+    def test_profile_sort_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "macro", "--sort", "wat"])
