@@ -8,6 +8,7 @@ Usage::
     python -m repro quickstart
     python -m repro scenarios list
     python -m repro scenarios run perfect-storm [--seed N] [--no-invariants]
+    python -m repro chaos flash-crowd --loss 0.2 --duplicate 0.1 --jitter 0.1
 
 Each experiment prints its table (mirroring the paper's layout) followed
 by a PASS/FAIL checklist of the paper's qualitative shape claims.
@@ -220,6 +221,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         print(f"choose from: {', '.join(SCENARIOS)} or 'all'", file=sys.stderr)
         return 2
     status = 0
+    convergence = getattr(args, "convergence", False)
     for name in names:
         started = time.time()
         try:
@@ -228,6 +230,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 invariants=not args.no_invariants,
                 raise_on_violation=False,
+                convergence=convergence,
             )
         except InvariantViolationError as violation:  # pragma: no cover
             # raise_on_violation=False collects instead; this guards a
@@ -239,6 +242,44 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         print(result.report())
         print(f"({name} completed in {elapsed:.1f}s)\n")
         if not args.no_invariants and not result.ok:
+            status = 1
+    return status
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Rerun any built-in scenario over a seeded unreliable transport."""
+    from repro.scenarios import SCENARIOS, run_scenario, with_chaos
+
+    names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(SCENARIOS)} or 'all'", file=sys.stderr)
+        return 2
+    if args.loss == 0.0 and args.duplicate == 0.0 and args.jitter == 0.0:
+        print(
+            "nothing to inject: set at least one of --loss, --duplicate, "
+            "--jitter above zero",
+            file=sys.stderr,
+        )
+        return 2
+    status = 0
+    for name in names:
+        chaotic = with_chaos(
+            SCENARIOS[name],
+            loss=args.loss, duplicate=args.duplicate, jitter=args.jitter,
+        )
+        started = time.time()
+        result = run_scenario(
+            chaotic,
+            seed=args.seed,
+            raise_on_violation=False,
+            convergence=True,
+        )
+        elapsed = time.time() - started
+        print(result.report())
+        print(f"({chaotic.name} completed in {elapsed:.1f}s)\n")
+        if not result.ok:
             status = 1
     return status
 
@@ -342,7 +383,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-invariants", action="store_true",
         help="run without the runtime invariant checker",
     )
+    scen_run.add_argument(
+        "--convergence", action="store_true",
+        help="also run the quiescence convergence audit (subscribed "
+             "caches hold the authority's settled versions or recorded "
+             "a degraded read)",
+    )
     scen_run.set_defaults(fn=_cmd_scenarios_run)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="rerun a built-in scenario over an unreliable transport "
+             "(seeded loss/duplication/jitter + recovery + convergence "
+             "audit)",
+    )
+    chaos_parser.add_argument(
+        "scenario", help="a scenario name (see 'scenarios list') or 'all'"
+    )
+    chaos_parser.add_argument("--seed", type=int, default=42)
+    chaos_parser.add_argument(
+        "--loss", type=float, default=0.2, metavar="P",
+        help="per-send loss probability (default 0.2)",
+    )
+    chaos_parser.add_argument(
+        "--duplicate", type=float, default=0.1, metavar="P",
+        help="per-send duplicate-delivery probability (default 0.1)",
+    )
+    chaos_parser.add_argument(
+        "--jitter", type=float, default=0.1, metavar="SECONDS",
+        help="max extra per-send delay (default 0.1)",
+    )
+    chaos_parser.set_defaults(fn=_cmd_chaos)
     return parser
 
 

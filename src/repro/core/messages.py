@@ -94,7 +94,7 @@ class UpdateMessage(Message):
     kind = "update"
     __slots__ = (
         "key", "update_type", "entries", "replica_id", "issued_at", "route",
-        "expiry",
+        "expiry", "hop_seq",
     )
 
     def __init__(
@@ -113,6 +113,10 @@ class UpdateMessage(Message):
         self.replica_id = replica_id
         self.issued_at = issued_at
         self.route = route
+        # Per-(sender, key) hop sequence number, stamped by the sending
+        # node's RecoveryManager just before transmission when running
+        # over an unreliable transport; ``None`` on the reliable path.
+        self.hop_seq = None
         # The payload (entries tuple) is immutable once issued, so its
         # latest expiration is a constant of the message family: computed
         # once here and carried by every fork, instead of re-reduced over
@@ -158,6 +162,7 @@ class UpdateMessage(Message):
         copy.replica_id = self.replica_id
         copy.issued_at = self.issued_at
         copy.route = self.route
+        copy.hop_seq = self.hop_seq
         copy.expiry = self.expiry
         copy.hops = self.hops
         return copy
@@ -186,6 +191,33 @@ class ClearBitMessage(Message):
 
     def __repr__(self) -> str:
         return f"ClearBit({self.key!r})"
+
+
+class NackMessage(Message):
+    """A child's re-request for update sequence numbers it never saw.
+
+    Sent one hop upstream when the receiver's per-(parent, key) sequence
+    watermark jumps (gap detection): ``missing`` lists the hop sequence
+    numbers that should have arrived in between.  The parent answers by
+    retransmitting whatever it still holds in its bounded send buffer;
+    anything already evicted is unrecoverable over this link and the
+    child eventually degrades to a pull (see
+    :mod:`repro.core.recovery`).  NACKs travel the overlay and are
+    charged hops like any control message, but they are themselves
+    subject to loss — hence the sender-side retry timer with capped
+    exponential backoff.
+    """
+
+    kind = "nack"
+    __slots__ = ("key", "missing")
+
+    def __init__(self, key: str, missing: Tuple[int, ...]):
+        super().__init__()
+        self.key = key
+        self.missing = missing
+
+    def __repr__(self) -> str:
+        return f"Nack({self.key!r}, missing={self.missing})"
 
 
 class ReplicaEvent(enum.Enum):

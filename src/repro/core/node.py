@@ -35,6 +35,7 @@ from repro.core.messages import (
     UpdateType,
 )
 from repro.core.policies import CutoffPolicy
+from repro.core.recovery import RecoveryConfig, RecoveryManager
 from repro.metrics.collector import MetricsCollector
 from repro.overlay.base import NodeId, Overlay
 from repro.replicas.authority import AuthorityIndex
@@ -98,7 +99,7 @@ class CupNode:
         "pfu_timeout", "track_justification", "cache", "authority_index",
         "channels", "refresh_aggregation_window", "refresh_sample_fraction",
         "_aggregation_buffers", "_sample_rng", "keepalive_monitor",
-        "invariant_probe", "batched_fanout", "_forward_always",
+        "invariant_probe", "batched_fanout", "_forward_always", "recovery",
     )
 
     def __init__(
@@ -120,6 +121,7 @@ class CupNode:
         refresh_sample_fraction: float = 1.0,
         channel_priorities: Optional[dict] = None,
         batched_fanout: bool = True,
+        recovery_config: Optional[RecoveryConfig] = None,
     ):
         if refresh_aggregation_window is not None and refresh_aggregation_window <= 0:
             raise ValueError(
@@ -162,6 +164,19 @@ class CupNode:
         # the equivalence property tests can referee one against the
         # other, and as an escape hatch while diagnosing.
         self.batched_fanout = batched_fanout
+        # Unreliable-transport survival layer: None on the default
+        # reliable path (zero hot-path cost beyond one None test).  With
+        # recovery on, updates must be stamped with per-neighbor
+        # sequence numbers at transmit time, which the grouped fan-out
+        # cannot do — force the per-child reference path.
+        if recovery_config is not None:
+            self.recovery = RecoveryManager(
+                sim, transport, node_id, metrics, recovery_config,
+                self._recover_by_pull,
+            )
+            self.batched_fanout = False
+        else:
+            self.recovery = None
         # Attached by CupNetwork.enable_keepalive(); None otherwise.
         self.keepalive_monitor = None
         # Attached by CupNetwork.attach_invariants(); None otherwise.
@@ -193,6 +208,9 @@ class CupNode:
             self._handle_clear_bit(message, sender)
         elif kind == "keepalive":
             return
+        elif kind == "nack":
+            if self.recovery is not None:
+                self.recovery.handle_nack(message, sender)
         elif kind == "replica":
             self._handle_replica(message)
         else:  # pragma: no cover - guards future message kinds
@@ -343,6 +361,18 @@ class CupNode:
         if probe is not None:
             probe.update_delivered(self.node_id, update, sender)
         metrics = self.metrics
+        # Unreliable transport: account the hop sequence before anything
+        # can drop the message (even an expired update advances the
+        # watermark — its loss must not look like a gap), and suppress
+        # duplicates before they touch the cache or cut-off logic.
+        recovery = self.recovery
+        if (
+            recovery is not None
+            and update.hop_seq is not None
+            and update.route is None
+            and not recovery.note_received(sender, update.key, update.hop_seq)
+        ):
+            return
         # Case 3: the update expired in flight — drop silently.
         if update.entries and update.expiry <= now:
             metrics.updates_dropped_expired += 1
@@ -666,7 +696,38 @@ class CupNode:
 
     def _transmit_update(self, neighbor: NodeId, update: UpdateMessage) -> None:
         """Channel drain callback: put one update on the wire."""
+        recovery = self.recovery
+        if recovery is not None and update.route is None:
+            recovery.stamp(neighbor, update)
         self._transport.send(self.node_id, neighbor, update)
+
+    def _recover_by_pull(self, key: str) -> None:
+        """Degraded read: refill the cache through the query path.
+
+        Invoked by the recovery manager after retry exhaustion or an
+        upstream departure.  Re-issuing a query upstream re-grafts this
+        node's interest along the chain (every forwarding hop sets its
+        bit), so the subscription tree self-heals and the eventual
+        first-time response replaces whatever updates were lost.
+        """
+        if not self._transport.is_registered(self.node_id):
+            # The owner itself departed/crashed with a retry timer still
+            # armed; there is nobody to pull for.
+            return
+        state = self.cache.get_or_create(key)
+        if self._is_authority(key, state):
+            return
+        now = self._sim.now
+        if (
+            state.pending_first_update
+            and now - state.pending_since <= self.pfu_timeout
+        ):
+            # A pull is already in flight; its response covers this gap.
+            return
+        state.pending_first_update = True
+        state.pending_since = now
+        state.clear_bit_sent = False
+        self._push_query_upstream(key, state, None)
 
     def _send_clear_bit(
         self, key: str, state: KeyState, toward: Optional[NodeId]
@@ -848,6 +909,8 @@ class CupNode:
     def patch_after_churn(self, alive: set) -> None:
         """§2.9: drop departed neighbors from interest vectors."""
         self.cache.patch_interest_after_churn(alive)
+        if self.recovery is not None:
+            self.recovery.prune_peers(alive)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -87,6 +87,19 @@ class CupConfig:
     # this knob is not part of run-cache keys; False selects the
     # per-child reference path.
     batched_fanout: bool = True
+    # Unreliable-transport survival layer (recovery).  The default True
+    # assumes a reliable transport (no fault injection) and keeps the
+    # run byte-identical to historical golden pins: nodes carry no
+    # recovery state at all.  Setting False equips every CUP-mode node
+    # with sequence stamping, gap detection + NACK/backoff recovery, and
+    # pull-on-miss degradation (see repro.core.recovery) — the knobs
+    # below tune that state machine and are ignored on the default path.
+    reliable_transport: bool = True
+    recovery_max_retries: int = 4
+    recovery_base_timeout: float = 0.5
+    recovery_backoff: float = 2.0
+    recovery_max_timeout: float = 8.0
+    recovery_buffer: int = 64
 
     # --- content ------------------------------------------------------
     keys_per_node: float = 1.0
@@ -163,6 +176,22 @@ class CupConfig:
                 f"unknown priority_profile: {self.priority_profile!r}; "
                 f"choose from {sorted(PRIORITY_PROFILES)}"
             )
+        if not self.reliable_transport:
+            # Constructing the config object validates the knobs early
+            # (RecoveryConfig re-validates at node construction).
+            self.resolved_recovery()
+
+    def resolved_recovery(self):
+        """The RecoveryConfig described by the recovery_* knobs."""
+        from repro.core.recovery import RecoveryConfig
+
+        return RecoveryConfig(
+            max_retries=self.recovery_max_retries,
+            base_timeout=self.recovery_base_timeout,
+            backoff=self.recovery_backoff,
+            max_timeout=self.recovery_max_timeout,
+            buffer_size=self.recovery_buffer,
+        )
 
     def variant(self, **overrides) -> "CupConfig":
         """A copy with fields replaced (workload seeds stay aligned)."""
@@ -316,6 +345,14 @@ class CupNetwork:
             refresh_sample_fraction=config.refresh_sample_fraction,
             channel_priorities=PRIORITY_PROFILES[config.priority_profile],
             batched_fanout=config.batched_fanout,
+            # Standard caching routes responses over recorded query
+            # paths (route is not None), which the sequence layer
+            # exempts; only CUP-style propagation gets recovery state.
+            recovery_config=(
+                config.resolved_recovery()
+                if not config.reliable_transport and config.mode != "standard"
+                else None
+            ),
         )
         self.nodes[node_id] = node
         self.transport.register(node_id, node)
@@ -569,6 +606,36 @@ class CupNetwork:
         if self.invariants is not None:
             self.invariants.on_membership_change("crash", node_id)
         self.tracer.emit(self.sim.now, "churn", event="crash", node=node_id)
+
+    def recover_node(self, node_id: NodeId) -> None:
+        """A crashed node comes back: transport re-attached, state intact.
+
+        The inverse of :meth:`crash_node` for the crash-recover fault
+        model (a process restart, not a departure): the overlay never
+        removed the node, so routing resumes immediately.  Cache and
+        authority state survive — what the node missed while dark is
+        exactly what the recovery layer's gap detection and pull-on-miss
+        degradation exist to repair.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise ValueError(f"node {node_id!r} is not a member")
+        self._require_private_topology("recover_node")
+        if node_id not in self._crashed:
+            raise ValueError(f"node {node_id!r} is not crashed")
+        self._crashed.discard(node_id)
+        self.transport.register(node_id, node)
+        # Rebuild from the node dict (insertion-ordered and never
+        # reordered by crashes) so the member list is deterministic
+        # regardless of crash/recover interleaving.
+        self._member_list = [
+            n for n in self.nodes if n not in self._crashed
+        ]
+        if node.keepalive_monitor is not None:
+            node.keepalive_monitor.start()
+        if self.invariants is not None:
+            self.invariants.on_membership_change("recover", node_id)
+        self.tracer.emit(self.sim.now, "churn", event="recover", node=node_id)
 
     def _on_suspected_failure(self, reporter: NodeId, suspect: NodeId) -> None:
         if suspect not in self._crashed:

@@ -51,7 +51,23 @@ capacity    loss-freedom (responses can expire in queues) and
             monotonicity *across deletes* (the priority pump can
             legitimately reorder a delete past a queued refresh,
             reinstalling a dead entry until it expires)
+loss        loss-freedom and duplicate detection (messages vanish in
+            transit; NACK-triggered retransmissions legitimately
+            re-deliver)
+duplication duplicate detection only (the transport itself delivers
+            some messages twice; the recovery layer's duplicate
+            suppression is what keeps caches correct, and is verified
+            by the sequence watermark audit instead)
+reorder     duplicate detection (a retransmission can race its
+            original past the jitter)
 ========== ==========================================================
+
+Under an unreliable transport the loss-freedom check is replaced by the
+opt-in :meth:`InvariantChecker.audit_convergence` quiescence audit:
+every node still subscribed to a key (complete interest chain to the
+authority) must hold the authority's final versions — or have recorded
+a degraded read, the recovery layer's explicit "I gave up and pulled"
+marker.
 
 Everything else — structural cache consistency, local monotonicity,
 cost balance — holds under every scenario and is always enforced.
@@ -70,7 +86,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.protocol import CupNetwork
 
 #: Recognized scenario hazards (see module docstring for their effect).
-HAZARDS: FrozenSet[str] = frozenset({"churn", "crash", "partition", "capacity"})
+HAZARDS: FrozenSet[str] = frozenset({
+    "churn", "crash", "partition", "capacity",
+    "loss", "duplication", "reorder",
+})
 
 #: Cap on remembered delivered-update fingerprints for duplicate
 #: detection; beyond this the duplicate check stops (never wrongly
@@ -173,7 +192,13 @@ class InvariantChecker:
 
     @property
     def _lossy(self) -> bool:
-        return bool(self.hazards & {"churn", "crash", "partition", "capacity"})
+        return bool(
+            self.hazards & {"churn", "crash", "partition", "capacity", "loss"}
+        )
+
+    @property
+    def _dup_tolerant(self) -> bool:
+        return self._lossy or bool(self.hazards & {"duplication", "reorder"})
 
     # ------------------------------------------------------------------
     # Violation plumbing
@@ -240,8 +265,9 @@ class InvariantChecker:
         is part of the fingerprint.
         """
         self.updates_seen += 1
-        if self._lossy or len(self._delivered) >= MAX_TRACKED_DELIVERIES:
-            # Retries after loss legitimately re-deliver; skip.
+        if self._dup_tolerant or len(self._delivered) >= MAX_TRACKED_DELIVERIES:
+            # Retries after loss — and a faulty transport's own
+            # duplications — legitimately re-deliver; skip.
             return
         if getattr(update, "route", None) is not None:
             # Standard-caching responses ride per-query open connections:
@@ -401,6 +427,96 @@ class InvariantChecker:
         if not self._lossy:
             self._check_loss_freedom()
 
+    # -- convergence under an unreliable transport ----------------------
+
+    def audit_convergence(self, slack: float = 15.0) -> None:
+        """Quiescence audit: subscribed caches converged or degraded.
+
+        The unreliable-transport analogue of loss-freedom: for every
+        node still *subscribed* to a key — a complete interest chain to
+        the authority, each hop's parent holding its child's bit — every
+        settled authority version (issued more than ``slack`` seconds
+        ago, so retransmissions and backoff have had time to run) must
+        be cached at the node at that version or newer.  A node that
+        gave up on a broken branch is excused iff its recovery layer
+        recorded the degradation (``degraded_keys``) — silent staleness
+        is exactly the failure mode this audit exists to catch.
+
+        Nodes whose subscription chain is broken are excluded: an
+        unsubscribed node legitimately goes stale (standard cache-
+        expiry semantics serve it), and the chain itself is audited by
+        the interest-tree checks.
+        """
+        if slack < 0:
+            raise ValueError(f"slack must be >= 0, got {slack}")
+        network = self.network
+        now = network.sim.now
+        overlay = network.overlay
+        nodes = network.nodes
+        cutoff = now - slack
+        for node_id, node in nodes.items():
+            recovery = node.recovery
+            degraded = (
+                recovery.degraded_keys if recovery is not None
+                else frozenset()
+            )
+            for state in list(node.cache):
+                key = state.key
+                authority_id = overlay.authority(key)
+                if authority_id == node_id:
+                    continue
+                authority = nodes.get(authority_id)
+                if authority is None:
+                    continue
+                settled = [
+                    entry
+                    for entry in authority.authority_index.fresh_entries(
+                        key, now
+                    )
+                    if entry.timestamp <= cutoff
+                ]
+                if not settled:
+                    continue
+                if not self._subscribed(node_id, key, authority_id):
+                    continue
+                if key in degraded:
+                    continue
+                cached = state.entries
+                for entry in settled:
+                    held = cached.get(entry.replica_id)
+                    if held is None or held.sequence < entry.sequence:
+                        self._violate(
+                            "convergence",
+                            "subscribed node is stale for replica "
+                            f"{entry.replica_id!r}: holds sequence "
+                            f"{held.sequence if held is not None else None}, "
+                            f"authority settled at {entry.sequence}, and no "
+                            "degraded read was recorded",
+                            node=node_id, key=key,
+                        )
+
+    def _subscribed(
+        self, node_id: NodeId, key: str, authority_id: NodeId
+    ) -> bool:
+        """Whether ``node_id`` has a complete interest chain for ``key``."""
+        overlay = self.network.overlay
+        nodes = self.network.nodes
+        current = node_id
+        seen = {current}
+        while current != authority_id:
+            parent = overlay.next_hop(current, key)
+            if parent is None or parent in seen:
+                return False
+            parent_node = nodes.get(parent)
+            if parent_node is None:
+                return False
+            parent_state = parent_node.cache.get(key)
+            if parent_state is None or current not in parent_state.interest:
+                return False
+            seen.add(parent)
+            current = parent
+        return True
+
     # -- cost balance ---------------------------------------------------
 
     def _check_cost_balance(self) -> None:
@@ -440,12 +556,19 @@ class InvariantChecker:
             )
         transport = self.network.transport
         accounted = transport.delivered + transport.dropped + transport.blocked
-        offered = transport.sent + transport.sent_direct
+        # Fault injection shifts the conservation identity: a duplicated
+        # send is accounted twice without a second `sent`, and a lost
+        # send is charged but never accounted.
+        offered = (
+            transport.sent + transport.sent_direct
+            + transport.duplicated - transport.lost
+        )
         if accounted > offered:
             self._violate(
                 "cost-balance",
                 f"transport accounted for {accounted} messages but only "
-                f"{offered} were sent",
+                f"{offered} were offered (sent + direct + duplicated "
+                "- lost)",
             )
 
     # -- loss freedom ---------------------------------------------------

@@ -60,6 +60,17 @@ class MetricsCollector:
         self.replica_refreshes = 0
         self.replica_deaths = 0
         self.failure_detections = 0
+        # --- unreliable-transport recovery (repro.core.recovery) --------
+        # Incremented only when nodes carry a RecoveryManager
+        # (CupConfig.reliable_transport=False); all zero — and absent
+        # from MetricsSummary — on the default reliable path, so golden
+        # pins are untouched.  Read them via recovery_report().
+        self.gaps_detected = 0
+        self.nacks_sent = 0
+        self.recovery_retries = 0
+        self.recovered_updates = 0
+        self.degraded_reads = 0
+        self.duplicates_suppressed = 0
         # --- latency (seconds, extension beyond the paper's hop metric)
         self.answer_delay_total = 0.0
         self.answer_delay_count = 0
@@ -108,6 +119,22 @@ class MetricsCollector:
         return {
             "routing_build_seconds": self.routing_build_seconds,
             "routing_table_builds": self.routing_table_builds,
+        }
+
+    def recovery_report(self) -> Dict[str, int]:
+        """Unreliable-transport recovery counters, as a plain dict.
+
+        Deliberately outside :class:`MetricsSummary`: the summary's
+        field set is pinned by the byte-identical golden referee, and
+        these counters are structurally zero on the reliable path.
+        """
+        return {
+            "gaps_detected": self.gaps_detected,
+            "nacks_sent": self.nacks_sent,
+            "recovery_retries": self.recovery_retries,
+            "recovered_updates": self.recovered_updates,
+            "degraded_reads": self.degraded_reads,
+            "duplicates_suppressed": self.duplicates_suppressed,
         }
 
     # ------------------------------------------------------------------

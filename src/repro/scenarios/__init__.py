@@ -1,9 +1,10 @@
 """Composable adversarial scenarios for CUP simulations.
 
 Assemble timed phases (churn bursts, partitions, flash crowds,
-popularity drift, capacity faults) into a :class:`Scenario`, compile it
-onto a :class:`~repro.core.protocol.CupNetwork`, and run it with
-runtime protocol invariants attached::
+popularity drift, capacity faults, transport faults) into a
+:class:`Scenario`, compile it onto a
+:class:`~repro.core.protocol.CupNetwork`, and run it with runtime
+protocol invariants attached::
 
     from repro.scenarios import SCENARIOS, run_scenario
 
@@ -11,14 +12,24 @@ runtime protocol invariants attached::
     assert result.ok
     print(result.report())
 
-See ``docs/scenarios.md`` for the DSL guide.
+Any scenario can be rerun over an unreliable transport with
+:func:`with_chaos`, which overlays seeded loss/duplication/jitter on the
+query window and arms every node's recovery state machine.
+
+See ``docs/scenarios.md`` for the DSL guide and ``docs/robustness.md``
+for the fault model and recovery protocol.
 """
 
 from repro.scenarios.builtin import SCENARIOS
 from repro.scenarios.dsl import (
     CapacityFault,
+    ChaosSpec,
     ChurnBurst,
+    DelayJitter,
+    DuplicateDelivery,
     FlashCrowd,
+    MessageLoss,
+    NodeCrashRecover,
     Partition,
     Phase,
     PopularityDrift,
@@ -26,13 +37,19 @@ from repro.scenarios.dsl import (
     Scenario,
     ScenarioRuntime,
     default_base_config,
+    with_chaos,
 )
 from repro.scenarios.runner import ScenarioResult, run_scenario
 
 __all__ = [
     "CapacityFault",
+    "ChaosSpec",
     "ChurnBurst",
+    "DelayJitter",
+    "DuplicateDelivery",
     "FlashCrowd",
+    "MessageLoss",
+    "NodeCrashRecover",
     "Partition",
     "Phase",
     "PopularityDrift",
@@ -43,4 +60,5 @@ __all__ = [
     "ScenarioRuntime",
     "default_base_config",
     "run_scenario",
+    "with_chaos",
 ]

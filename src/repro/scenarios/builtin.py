@@ -14,7 +14,11 @@ from typing import Dict
 from repro.scenarios.dsl import (
     CapacityFault,
     ChurnBurst,
+    DelayJitter,
+    DuplicateDelivery,
     FlashCrowd,
+    MessageLoss,
+    NodeCrashRecover,
     Partition,
     PopularityDrift,
     Quiet,
@@ -102,6 +106,40 @@ ZIPF_DRIFT = _register(Scenario(
     overrides=(
         ("key_distribution", "zipf"),
         ("total_keys", 16),
+    ),
+))
+
+LOSSY_MESH = _register(Scenario(
+    name="lossy-mesh",
+    description="One in five overlay sends vanishes for two minutes; "
+                "gap detection + NACK recovery must keep every "
+                "subscribed cache converged (or explicitly degraded).",
+    phases=(
+        Quiet(60.0),
+        MessageLoss(120.0, rate=0.2),
+        Quiet(90.0),
+    ),
+    overrides=(
+        ("reliable_transport", False),
+    ),
+))
+
+CHAOS_MONKEY = _register(Scenario(
+    name="chaos-monkey",
+    description="The unreliable-network gauntlet: loss, duplicate "
+                "delivery, delay jitter, then a crash-recover window — "
+                "every fault the recovery layer exists for, back to "
+                "back.",
+    phases=(
+        Quiet(60.0),
+        MessageLoss(90.0, rate=0.15),
+        DuplicateDelivery(60.0, rate=0.2),
+        DelayJitter(60.0, jitter=0.25),
+        NodeCrashRecover(60.0, count=2),
+        Quiet(90.0),
+    ),
+    overrides=(
+        ("reliable_transport", False),
     ),
 ))
 

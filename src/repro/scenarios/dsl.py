@@ -15,7 +15,19 @@ Each phase contributes one stressor for its duration:
 * :class:`PopularityDrift` — the hot spot rotates across keys,
   modelling Zipf-head drift;
 * :class:`CapacityFault` — a random node subset degrades to reduced
-  update capacity (§3.7), restored when the phase ends.
+  update capacity (§3.7), restored when the phase ends;
+* :class:`MessageLoss` / :class:`DuplicateDelivery` / :class:`DelayJitter`
+  — probabilistic transport faults (seeded, per-recipient) via the
+  transport's :class:`~repro.sim.network.LinkFaults` layer, removed when
+  the phase ends;
+* :class:`NodeCrashRecover` — a deterministic victim set crashes
+  (silent: transport detached, overlay intact) at phase start and
+  restarts at phase end, exercising gap detection over the dark window.
+
+A scenario may additionally carry a :class:`ChaosSpec` — a blanket
+loss/duplication/jitter overlay covering the whole query window — which
+is how :func:`with_chaos` turns any existing scenario into its
+unreliable-transport variant.
 
 Phases are frozen dataclasses, so scenarios are hashable, picklable and
 usable as part of an experiment cell's cache key.  Compilation
@@ -45,6 +57,7 @@ from typing import (
 )
 
 from repro.core.protocol import CupConfig
+from repro.sim.network import LinkFaults
 from repro.workload.churn import ChurnSchedule
 from repro.workload.faults import CapacityFaultSchedule
 from repro.workload.keyspace import FlashCrowdKeys, KeySelector, RotatingHotKeys
@@ -188,9 +201,128 @@ class CapacityFault(Phase):
                 )
 
 
+@dataclasses.dataclass(frozen=True)
+class MessageLoss(Phase):
+    """Each overlay send is lost in transit with probability ``rate``.
+
+    Loss is drawn per recipient (a fan-out to k children makes k
+    decisions) from the dedicated ``link-faults`` stream; hop cost is
+    still charged, mirroring the drop-rule layer.  Run with
+    ``reliable_transport=False`` or subscribed caches go silently stale.
+    """
+
+    rate: float = 0.1
+    hazards = frozenset({"loss"})
+
+    def validate(self) -> None:
+        super().validate()
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(
+                f"MessageLoss: rate must be in [0, 1], got {self.rate}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class DuplicateDelivery(Phase):
+    """Each surviving overlay send is delivered twice with probability
+    ``rate`` — the at-least-once transport the recovery layer's
+    duplicate suppression exists for."""
+
+    rate: float = 0.1
+    hazards = frozenset({"duplication"})
+
+    def validate(self) -> None:
+        super().validate()
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(
+                f"DuplicateDelivery: rate must be in [0, 1], got {self.rate}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class DelayJitter(Phase):
+    """Each overlay send gains up to ``jitter`` seconds of extra delay,
+    letting later sends overtake earlier ones on the same link (the
+    reorder fault)."""
+
+    jitter: float = 0.2
+    hazards = frozenset({"reorder"})
+
+    def validate(self) -> None:
+        super().validate()
+        if self.jitter <= 0:
+            raise ValueError(
+                f"DelayJitter: jitter must be positive, got {self.jitter}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeCrashRecover(Phase):
+    """``count`` deterministic victims crash silently at phase start and
+    restart at phase end, state intact.
+
+    A crash-recover is a process restart, not a departure: the overlay
+    keeps routing through the corpse, messages to it drop, and on
+    recovery the node's sequence watermarks expose exactly the updates
+    it slept through — gap detection and pull-on-miss degradation then
+    repair the window.  Victims are drawn from the ``scenario-crashes``
+    stream; the count is capped so at least two nodes stay up.
+    """
+
+    count: int = 2
+    hazards = frozenset({"crash"})
+
+    def validate(self) -> None:
+        super().validate()
+        if self.count < 1:
+            raise ValueError(
+                f"NodeCrashRecover: count must be >= 1, got {self.count}"
+            )
+
+
 # ----------------------------------------------------------------------
 # Scenario
 # ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosSpec:
+    """A blanket transport-fault overlay for a scenario's query window.
+
+    Unlike the phase stressors, a chaos spec is *ambient*: one
+    :class:`~repro.sim.network.LinkFaults` rule installed at query start
+    and removed at query end, underneath whatever the phases do.  The
+    drain stays clean so recovery can finish and the convergence audit
+    has a settled network to judge.
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplicate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"ChaosSpec: {name} must be in [0, 1], got {value}"
+                )
+        if self.jitter < 0:
+            raise ValueError(
+                f"ChaosSpec: jitter must be >= 0, got {self.jitter}"
+            )
+        if self.loss == 0.0 and self.duplicate == 0.0 and self.jitter == 0.0:
+            raise ValueError("ChaosSpec: at least one fault must be nonzero")
+
+    def hazards(self) -> FrozenSet[str]:
+        result = set()
+        if self.loss:
+            result.add("loss")
+        if self.duplicate:
+            result.add("duplication")
+        if self.jitter:
+            result.add("reorder")
+        return frozenset(result)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -207,6 +339,9 @@ class Scenario:
     description: str
     phases: Tuple[Phase, ...]
     overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: Ambient transport-fault overlay for the whole query window
+    #: (see :class:`ChaosSpec`); None for a clean transport.
+    chaos: Optional[ChaosSpec] = None
 
     def __post_init__(self) -> None:
         if not self.phases:
@@ -226,10 +361,12 @@ class Scenario:
         return sum(phase.duration for phase in self.phases)
 
     def hazards(self) -> FrozenSet[str]:
-        """Union of every phase's invariant hazards."""
+        """Union of every phase's (and the chaos overlay's) hazards."""
         result: FrozenSet[str] = frozenset()
         for phase in self.phases:
             result |= phase.hazards
+        if self.chaos is not None:
+            result |= self.chaos.hazards()
         return result
 
     def key(self) -> tuple:
@@ -241,6 +378,8 @@ class Scenario:
                 for phase in self.phases
             ),
             self.overrides,
+            dataclasses.astuple(self.chaos) if self.chaos is not None
+            else None,
         )
 
     # -- config --------------------------------------------------------
@@ -271,6 +410,36 @@ class Scenario:
         runtime = ScenarioRuntime(self, network)
         runtime._compile()
         return runtime
+
+
+def with_chaos(
+    scenario: Scenario,
+    loss: float = 0.2,
+    duplicate: float = 0.1,
+    jitter: float = 0.1,
+) -> Scenario:
+    """Any scenario, rerun over an unreliable transport.
+
+    Lays a :class:`ChaosSpec` over the scenario's whole query window and
+    forces ``reliable_transport=False`` (unless the scenario already
+    pins it) so every node carries the recovery state machine.  The
+    returned scenario's hazard set grows accordingly, relaxing exactly
+    the invariants a faulty transport legitimately breaks.
+    """
+    spec = ChaosSpec(loss=loss, duplicate=duplicate, jitter=jitter)
+    overrides = scenario.overrides
+    if not any(field == "reliable_transport" for field, _ in overrides):
+        overrides = overrides + (("reliable_transport", False),)
+    return dataclasses.replace(
+        scenario,
+        name=f"{scenario.name}+chaos",
+        description=(
+            f"{scenario.description} — under chaos (loss={loss:.0%}, "
+            f"dup={duplicate:.0%}, jitter={jitter}s)"
+        ),
+        overrides=overrides,
+        chaos=spec,
+    )
 
 
 def default_base_config() -> CupConfig:
@@ -322,6 +491,10 @@ class ScenarioRuntime:
     def _compile(self) -> None:
         network = self.network
         start = network.config.query_start
+        if self.scenario.chaos is not None:
+            self._compile_chaos(
+                self.scenario.chaos, start, network.config.query_end
+            )
         selector: Optional[KeySelector] = None
         needs_selector = any(
             isinstance(p, (FlashCrowd, PopularityDrift))
@@ -340,6 +513,23 @@ class ScenarioRuntime:
                 self._compile_partition(phase, index, t, end)
             elif isinstance(phase, CapacityFault):
                 self._compile_capacity(phase, t, end)
+            elif isinstance(phase, MessageLoss):
+                self._compile_faults(
+                    t, end, loss=phase.rate,
+                    label=f"message loss at {phase.rate:.0%}",
+                )
+            elif isinstance(phase, DuplicateDelivery):
+                self._compile_faults(
+                    t, end, duplicate=phase.rate,
+                    label=f"duplicate delivery at {phase.rate:.0%}",
+                )
+            elif isinstance(phase, DelayJitter):
+                self._compile_faults(
+                    t, end, jitter=phase.jitter,
+                    label=f"delay jitter up to {phase.jitter}s",
+                )
+            elif isinstance(phase, NodeCrashRecover):
+                self._compile_crash_recover(phase, t, end)
             elif isinstance(phase, FlashCrowd):
                 selector = FlashCrowdKeys(
                     selector, self._hot_key(phase.hot_key_index),
@@ -428,6 +618,78 @@ class ScenarioRuntime:
 
         network.sim.schedule_at(start, degrade)
         network.sim.schedule_at(end, restore)
+
+    def _compile_faults(
+        self,
+        start: float,
+        end: float,
+        loss: float = 0.0,
+        duplicate: float = 0.0,
+        jitter: float = 0.0,
+        label: str = "transport faults",
+    ) -> None:
+        """Install one LinkFaults rule for [start, end)."""
+        network = self.network
+        state: Dict[str, int] = {}
+
+        def install() -> None:
+            faults = LinkFaults(
+                network.streams.get("link-faults"),
+                loss=loss, duplicate=duplicate, jitter=jitter,
+            )
+            state["rule"] = network.transport.add_link_faults(faults)
+            self._log(f"{label} begins")
+
+        def remove() -> None:
+            rule_id = state.pop("rule", None)
+            if rule_id is not None:
+                network.transport.remove_link_faults(rule_id)
+            self._log(f"{label} ends")
+
+        network.sim.schedule_at(start, install)
+        network.sim.schedule_at(end, remove)
+
+    def _compile_chaos(self, chaos: ChaosSpec, start: float, end: float) -> None:
+        self._compile_faults(
+            start, end,
+            loss=chaos.loss, duplicate=chaos.duplicate, jitter=chaos.jitter,
+            label=(
+                f"chaos overlay (loss={chaos.loss:.0%}, "
+                f"dup={chaos.duplicate:.0%}, jitter={chaos.jitter}s)"
+            ),
+        )
+
+    def _compile_crash_recover(
+        self, phase: NodeCrashRecover, start: float, end: float
+    ) -> None:
+        network = self.network
+        state: Dict[str, list] = {}
+
+        def crash() -> None:
+            rng = network.streams.get("scenario-crashes")
+            candidates = sorted(network.live_node_ids(), key=str)
+            count = min(phase.count, max(0, len(candidates) - 2))
+            picked = sorted(
+                rng.choice(len(candidates), size=count, replace=False).tolist()
+            )
+            victims = [candidates[i] for i in picked]
+            for node_id in victims:
+                network.crash_node(node_id)
+            state["victims"] = victims
+            self._log(f"crash: {victims} go dark")
+
+        def recover() -> None:
+            recovered = []
+            for node_id in state.pop("victims", ()):
+                # A keep-alive monitor may have completed the failure as
+                # a departure in the meantime; only restart true corpses.
+                if node_id in network._crashed:
+                    network.recover_node(node_id)
+                    recovered.append(node_id)
+            self._log(f"recover: {recovered} restart")
+
+        network.sim.schedule_at(start, crash)
+        network.sim.schedule_at(end, recover)
 
     # -- introspection -------------------------------------------------
 

@@ -56,6 +56,20 @@ class ScenarioResult:
             f"total={summary.total_cost}  "
             f"answered={summary.answers_delivered}"
         )
+        transport = self.network.transport
+        if transport.lost or transport.duplicated or transport.reordered:
+            lines.append(
+                f"  transport faults: lost={transport.lost}  "
+                f"duplicated={transport.duplicated}  "
+                f"reordered={transport.reordered}"
+            )
+        recovery = self.network.metrics.recovery_report()
+        if any(recovery.values()):
+            lines.append(
+                "  recovery: " + "  ".join(
+                    f"{name}={value}" for name, value in recovery.items()
+                )
+            )
         if self.checker is None:
             lines.append("  invariants: not checked")
         else:
@@ -71,6 +85,8 @@ def run_scenario(
     raise_on_violation: bool = True,
     check_interval: Optional[float] = 30.0,
     extra_hazards: Tuple[str, ...] = (),
+    convergence: bool = False,
+    convergence_slack: float = 15.0,
 ) -> ScenarioResult:
     """Run one scenario end to end.
 
@@ -92,6 +108,15 @@ def run_scenario(
     check_interval:
         Simulated seconds between periodic structural audits (``None``
         disables the periodic sweep; the quiescence check still runs).
+    convergence:
+        After the run, additionally audit quiescence *convergence*
+        (:meth:`InvariantChecker.audit_convergence`): every subscribed
+        node holds the authority's settled versions or recorded a
+        degraded read.  The unreliable-transport analogue of the
+        loss-freedom check; requires ``invariants=True``.
+    convergence_slack:
+        Seconds an authority version must have been settled before the
+        convergence audit demands it downstream.
     """
     config = scenario.build_config(base=base_config, seed=seed)
     network = CupNetwork(config)
@@ -102,8 +127,12 @@ def run_scenario(
             check_interval=check_interval,
             raise_immediately=raise_on_violation,
         )
+    if convergence and checker is None:
+        raise ValueError("convergence audit requires invariants=True")
     runtime = scenario.compile_onto(network)
     summary = network.run()
+    if convergence:
+        checker.audit_convergence(slack=convergence_slack)
     return ScenarioResult(
         scenario=scenario,
         config=config,

@@ -26,6 +26,55 @@ SendObserver = Callable[[NodeId, NodeId, "Message"], None]
 DropRule = Callable[[NodeId, NodeId, "Message"], bool]
 
 
+class LinkFaults:
+    """A probabilistic per-link fault model: loss, duplication, jitter.
+
+    One spec covers every overlay-hop send while installed (see
+    :meth:`Transport.add_link_faults`); each fault draws independently
+    per *recipient*, so a fan-out to k children makes k loss decisions.
+
+    Parameters
+    ----------
+    rng:
+        Source of U(0, 1) draws (anything with a scalar ``random()``
+        method — a numpy Generator or a
+        :class:`~repro.sim.random.BufferedUniforms` wrapper).  Derive it
+        from a dedicated :class:`~repro.sim.random.RandomStreams` name so
+        fault draws never shift workload or capacity streams.
+    loss:
+        Probability a send vanishes in transit (hop cost still charged,
+        like drop rules — bandwidth was spent).
+    duplicate:
+        Probability a surviving send is delivered twice.
+    jitter:
+        Maximum extra one-way delay (seconds); each surviving send adds
+        ``U(0, 1) * jitter``.  Enough jitter lets later sends overtake
+        earlier ones on the same link — the reorder fault.
+    """
+
+    __slots__ = ("rng", "loss", "duplicate", "jitter")
+
+    def __init__(self, rng, loss: float = 0.0, duplicate: float = 0.0,
+                 jitter: float = 0.0):
+        for name, value in (("loss", loss), ("duplicate", duplicate)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        if rng is None:
+            raise ValueError("LinkFaults requires an rng")
+        self.rng = rng
+        self.loss = loss
+        self.duplicate = duplicate
+        self.jitter = jitter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinkFaults(loss={self.loss}, duplicate={self.duplicate}, "
+            f"jitter={self.jitter})"
+        )
+
+
 class Message:
     """Base class for everything that travels over the transport.
 
@@ -121,12 +170,24 @@ class Transport:
         # the registry is empty in the common case so the hot path pays
         # a single truthiness check.
         self._drop_rules: Dict[int, DropRule] = {}
+        # Probabilistic fault layer (loss/duplication/jitter): like drop
+        # rules, empty in the common case so the hot path pays one
+        # truthiness check.  Handles share the same counter space as
+        # drop-rule handles.
+        self._fault_rules: Dict[int, LinkFaults] = {}
+        # Highest scheduled arrival time per directed link, tracked only
+        # while jitter faults are installed — a new send landing before
+        # an earlier one on the same link is a reorder.
+        self._arrival_high: Dict[Tuple[NodeId, NodeId], float] = {}
         self._rule_ids = itertools.count()
         self.sent = 0
         self.sent_direct = 0
         self.delivered = 0
         self.dropped = 0
         self.blocked = 0
+        self.lost = 0
+        self.duplicated = 0
+        self.reordered = 0
 
     # ------------------------------------------------------------------
     # Topology management
@@ -185,8 +246,80 @@ class Transport:
         return rule_id
 
     def remove_drop_rule(self, rule_id: int) -> None:
-        """Heal: retire one rule.  Unknown ids are ignored (idempotent)."""
-        self._drop_rules.pop(rule_id, None)
+        """Heal: retire one rule.
+
+        Raises ``KeyError`` for unknown or stale handles — a double heal
+        is a scenario bug (the handle either never existed or was
+        already retired), and silently ignoring it used to mask exactly
+        that class of mistake.
+        """
+        try:
+            del self._drop_rules[rule_id]
+        except KeyError:
+            raise KeyError(f"unknown drop rule handle: {rule_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Probabilistic fault rules (loss, duplication, jitter/reorder)
+    # ------------------------------------------------------------------
+
+    def add_link_faults(self, faults: LinkFaults) -> int:
+        """Install a probabilistic fault spec on every overlay-hop send.
+
+        Returns a handle for :meth:`remove_link_faults`.  Faults draw
+        from the spec's own rng (seed it from a dedicated stream) and
+        apply *after* drop rules: a send blocked by a partition never
+        reaches the fault layer.  Lost sends are still charged their hop
+        cost, mirroring drop-rule semantics; :attr:`lost`,
+        :attr:`duplicated`, and :attr:`reordered` count outcomes.
+        :meth:`send_direct` traffic is exempt — it models out-of-band
+        replica communication.
+        """
+        if not isinstance(faults, LinkFaults):
+            raise TypeError(f"expected LinkFaults, got {type(faults).__name__}")
+        rule_id = next(self._rule_ids)
+        self._fault_rules[rule_id] = faults
+        return rule_id
+
+    def remove_link_faults(self, rule_id: int) -> None:
+        """Retire one fault spec.  Raises ``KeyError`` on unknown handles."""
+        try:
+            del self._fault_rules[rule_id]
+        except KeyError:
+            raise KeyError(f"unknown fault rule handle: {rule_id!r}") from None
+        if not self._fault_rules:
+            self._arrival_high.clear()
+
+    def _apply_faults(self, src: NodeId, dst: NodeId, delay: float):
+        """Run one send through every installed fault spec.
+
+        Returns ``(copies, delay)``: the number of deliveries to
+        schedule (0 = lost, 2+ = duplicated) and the possibly jittered
+        propagation delay.  Draw order per spec is loss → duplicate →
+        jitter, short-circuiting on loss, so a given seed produces the
+        same fate regardless of which counters downstream code reads.
+        """
+        copies = 1
+        jittered = False
+        for fault in self._fault_rules.values():
+            rng = fault.rng
+            if fault.loss and rng.random() < fault.loss:
+                self.lost += 1
+                return 0, delay
+            if fault.duplicate and rng.random() < fault.duplicate:
+                self.duplicated += 1
+                copies += 1
+            if fault.jitter:
+                delay += rng.random() * fault.jitter
+                jittered = True
+        if jittered:
+            arrival = self._sim.now + delay
+            link = (src, dst)
+            last = self._arrival_high.get(link, -1.0)
+            if arrival < last:
+                self.reordered += 1
+            else:
+                self._arrival_high[link] = arrival
+        return copies, delay
 
     def partition(self, groups: Iterable[Iterable[NodeId]]) -> int:
         """Install a network partition; returns the rule handle.
@@ -279,6 +412,12 @@ class Transport:
         delay = self._delays.get((src, dst))
         if delay is None:
             delay = self.default_delay
+        if self._fault_rules:
+            copies, delay = self._apply_faults(src, dst, delay)
+            if copies == 0:
+                return
+            for _ in range(copies - 1):
+                self._sim.schedule_hop(delay, self._deliver, (src, dst, message))
         self._sim.schedule_hop(delay, self._deliver, (src, dst, message))
 
     def send_fanout(self, src: NodeId, dsts, message: Message) -> None:
@@ -314,7 +453,7 @@ class Transport:
                 collector.clear_bit_hops += count
         observers = self._send_observers
         fork = message.fork
-        if not self._drop_rules and not self._delays:
+        if not self._drop_rules and not self._delays and not self._fault_rules:
             if count == 1:
                 # Chain hop (one interested child — the common shape of
                 # a propagation tree): skip the batch list entirely.
@@ -346,8 +485,11 @@ class Transport:
                 self.default_delay, self._deliver_many, (src, pairs)
             )
             return
-        # Per-link delays or drop rules installed: fall back to the
-        # per-destination schedule (still sharing the payload).
+        # Per-link delays, drop rules, or fault rules installed: fall
+        # back to the per-destination schedule (still sharing the
+        # payload).  Rules and faults are evaluated per recipient — one
+        # blocked or lost destination neither leaks through nor blocks
+        # its siblings.
         for dst in dsts:
             envelope = fork()
             envelope.hops = hops
@@ -364,6 +506,14 @@ class Transport:
             delay = self._delays.get((src, dst))
             if delay is None:
                 delay = self.default_delay
+            if self._fault_rules:
+                copies, delay = self._apply_faults(src, dst, delay)
+                if copies == 0:
+                    continue
+                for _ in range(copies - 1):
+                    self._sim.schedule_hop(
+                        delay, self._deliver, (src, dst, envelope)
+                    )
             self._sim.schedule_hop(delay, self._deliver, (src, dst, envelope))
 
     def _deliver_many(self, src: NodeId, pairs) -> None:

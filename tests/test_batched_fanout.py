@@ -177,3 +177,53 @@ def test_batched_equals_reference_fuzz(
         gc_interval=40.0,
     )
     _assert_equivalent(*_run_config_both_paths(config))
+
+
+class TestFaultedFanoutEquivalence:
+    """Per-recipient fault evaluation is identical in both fan-out modes.
+
+    With a ``LinkFaults`` rule installed the batched path must abandon
+    grouped delivery and make one independent loss/duplicate/jitter draw
+    per child — the same draws, in the same stream order, as the
+    per-child reference path.  A single whole-batch decision (or a
+    different draw order) would diverge immediately: the seeded fault
+    stream is consumed once per recipient.
+    """
+
+    def _faulted_run(self, batched: bool):
+        from repro.sim.network import LinkFaults
+
+        config = BASE.variant(batched_fanout=batched, seed=23)
+        net = CupNetwork(config)
+        handle = {}
+
+        def install():
+            spec = LinkFaults(
+                net.streams.get("link-faults"),
+                loss=0.15, duplicate=0.1, jitter=0.05,
+            )
+            handle["id"] = net.transport.add_link_faults(spec)
+
+        net.sim.schedule_at(config.query_start, install)
+        net.sim.schedule_at(
+            config.query_start + 120.0,
+            lambda: net.transport.remove_link_faults(handle["id"]),
+        )
+        summary = net.run()
+        return net, summary
+
+    def test_link_faults_evaluated_per_recipient_in_both_modes(self):
+        batched_net, batched_summary = self._faulted_run(batched=True)
+        reference_net, reference_summary = self._faulted_run(batched=False)
+        assert batched_summary == reference_summary
+        for counter in ("lost", "duplicated", "reordered"):
+            assert getattr(batched_net.transport, counter) == getattr(
+                reference_net.transport, counter
+            ), counter
+        assert batched_net.transport.lost > 0
+        assert _transport_totals(batched_net) == _transport_totals(
+            reference_net
+        )
+        assert _node_cache_state(batched_net) == _node_cache_state(
+            reference_net
+        )

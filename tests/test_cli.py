@@ -80,6 +80,47 @@ class TestScenariosCommands:
         for name in SCENARIOS:
             assert f"scenario {name!r}" in out
 
+    def test_scenarios_run_convergence_audit(self, capsys):
+        status = main([
+            "scenarios", "run", "lossy-mesh", "--seed", "7",
+            "--convergence",
+        ])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "invariants: OK" in out
+        assert "transport faults:" in out
+        assert "recovery:" in out
+
+
+class TestChaosCommand:
+    def test_chaos_wraps_and_audits_a_scenario(self, capsys):
+        status = main(["chaos", "steady-state", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "steady-state+chaos" in out
+        assert "transport faults:" in out
+        assert "invariants: OK" in out
+
+    def test_chaos_custom_fault_rates(self, capsys):
+        status = main([
+            "chaos", "steady-state", "--seed", "7",
+            "--loss", "0.1", "--duplicate", "0.0", "--jitter", "0.0",
+        ])
+        assert status == 0
+        assert "lost=" in capsys.readouterr().out
+
+    def test_chaos_rejects_all_zero_faults(self, capsys):
+        status = main([
+            "chaos", "steady-state",
+            "--loss", "0", "--duplicate", "0", "--jitter", "0",
+        ])
+        assert status == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_chaos_unknown_scenario(self, capsys):
+        assert main(["chaos", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
 
 class TestProfileCommand:
     @pytest.fixture(autouse=True)

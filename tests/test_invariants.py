@@ -88,7 +88,10 @@ class TestWiring:
         assert checker.membership_events == 1
 
     def test_hazard_constants_exported(self):
-        assert {"churn", "crash", "partition", "capacity"} == set(HAZARDS)
+        assert {
+            "churn", "crash", "partition", "capacity",
+            "loss", "duplication", "reorder",
+        } == set(HAZARDS)
 
 
 class TestViolationDetection:

@@ -1,0 +1,189 @@
+"""Property tests for the recovery state machine and the chaos oracle.
+
+The state machine is fuzzed directly with arbitrary arrival schedules —
+any interleaving of loss, duplication and reordering a faulty transport
+can produce — and must hold three properties regardless: the watermark
+never regresses, no sequence number is applied twice, and retries per
+gap episode stay within the configured cap (so NACK traffic is bounded
+even when the upstream never answers).
+
+The oracle layer then runs whole networks over a seeded faulty
+transport: every invariant holds under the declared hazards, the
+quiescence convergence audit passes, and identical seeds reproduce
+identical runs bit for bit.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import UpdateMessage, UpdateType
+from repro.core.recovery import RecoveryConfig, RecoveryManager
+from repro.scenarios import SCENARIOS, with_chaos
+from repro.scenarios.runner import run_scenario
+from repro.sim.engine import Simulator
+from repro.sim.network import Transport
+
+
+class Inbox:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, message, sender):
+        self.received.append((message, sender))
+
+
+def make_receiver(config=None):
+    sim = Simulator()
+    net = Transport(sim, default_delay=0.1)
+    net.register("parent", Inbox())
+    net.register("child", Inbox())
+    pulls = []
+
+    class Counters:
+        gaps_detected = 0
+        nacks_sent = 0
+        recovery_retries = 0
+        recovered_updates = 0
+        degraded_reads = 0
+        duplicates_suppressed = 0
+
+    metrics = Counters()
+    manager = RecoveryManager(
+        sim, net, "child", metrics, config or RecoveryConfig(),
+        request_pull=pulls.append,
+    )
+    return sim, manager, metrics, pulls
+
+
+# Arbitrary arrival schedules: sequence numbers from a smallish universe,
+# repeated and reordered freely — losses are the numbers that never
+# appear, duplicates the ones that appear twice.
+schedules = st.lists(
+    st.integers(min_value=1, max_value=20), min_size=0, max_size=60
+)
+
+
+class TestStateMachineProperties:
+    @given(schedule=schedules)
+    @settings(max_examples=100, deadline=None)
+    def test_watermark_monotone_and_no_duplicate_apply(self, schedule):
+        _, manager, metrics, _ = make_receiver()
+        applied = []
+        last_watermark = 0
+        for seq in schedule:
+            if manager.note_received("parent", "k", seq):
+                applied.append(seq)
+            watermark = manager.watermark("parent", "k")
+            assert watermark >= last_watermark
+            last_watermark = watermark
+        # No sequence number is ever applied twice.
+        assert len(applied) == len(set(applied))
+        # Everything applied actually arrived, and everything that
+        # arrived was either applied once or suppressed as a duplicate.
+        assert set(applied) <= set(schedule)
+        assert len(applied) + metrics.duplicates_suppressed == len(schedule)
+        # Open gaps only ever name sequence numbers that never applied
+        # and sit below the watermark.
+        for missing in manager.open_gaps().values():
+            for seq in missing:
+                assert seq not in applied
+                assert seq < last_watermark
+
+    @given(schedule=schedules)
+    @settings(max_examples=30, deadline=None)
+    def test_retries_bounded_and_every_gap_resolves(self, schedule):
+        config = RecoveryConfig(max_retries=3, base_timeout=0.5)
+        sim, manager, metrics, pulls = make_receiver(config)
+        for seq in schedule:
+            manager.note_received("parent", "k", seq)
+        # Nobody retransmits: every surviving gap must burn through its
+        # capped retries and degrade — never retry forever.
+        sim.run()
+        assert manager.open_gaps() == {}
+        assert metrics.recovery_retries <= (
+            config.max_retries * max(metrics.gaps_detected, 1)
+        )
+        assert metrics.degraded_reads == len(pulls)
+        if metrics.gaps_detected > metrics.recovered_updates:
+            assert pulls  # an unfilled gap must surface, not vanish
+
+    @given(
+        links=st.lists(
+            st.tuples(
+                st.sampled_from(["childA", "childB"]),
+                st.sampled_from(["k1", "k2"]),
+            ),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stamping_contiguous_per_link(self, links):
+        sim = Simulator()
+        net = Transport(sim, default_delay=0.1)
+        net.register("parent", Inbox())
+        manager = RecoveryManager(
+            sim, net, "parent", None, RecoveryConfig(buffer_size=8),
+            request_pull=lambda key: None,
+        )
+        seen = {}
+        for neighbor, key in links:
+            update = UpdateMessage(key, UpdateType.REFRESH, (), "r0",
+                                   issued_at=0.0)
+            manager.stamp(neighbor, update)
+            # Per-link sequences are contiguous from 1, no matter how
+            # traffic interleaves across links.
+            expected = seen.get((neighbor, key), 0) + 1
+            assert update.hop_seq == expected
+            seen[(neighbor, key)] = expected
+        # Retransmission buffers never exceed the configured bound.
+        for buffer in manager._sent.values():
+            assert len(buffer) <= 8
+
+
+class TestChaosOracle:
+    @given(
+        loss=st.floats(min_value=0.05, max_value=0.2),
+        duplicate=st.floats(min_value=0.0, max_value=0.2),
+        jitter=st.floats(min_value=0.0, max_value=0.25),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_invariants_and_convergence_under_random_chaos(
+        self, loss, duplicate, jitter, seed
+    ):
+        scenario = with_chaos(
+            SCENARIOS["steady-state"],
+            loss=loss, duplicate=duplicate, jitter=jitter,
+        )
+        result = run_scenario(scenario, seed=seed, convergence=True)
+        assert result.ok, result.checker.report()
+        assert result.network.transport.lost > 0
+
+    def test_identical_seeds_reproduce_identical_chaos(self):
+        scenario = with_chaos(
+            SCENARIOS["flash-crowd"], loss=0.2, duplicate=0.1, jitter=0.1
+        )
+        first = run_scenario(scenario, seed=11, convergence=True)
+        second = run_scenario(scenario, seed=11, convergence=True)
+        assert first.ok and second.ok
+        assert first.summary == second.summary
+        for counter in ("lost", "duplicated", "reordered"):
+            assert getattr(first.network.transport, counter) == getattr(
+                second.network.transport, counter
+            ), counter
+        assert (
+            first.network.metrics.recovery_report()
+            == second.network.metrics.recovery_report()
+        )
+
+    def test_different_seeds_draw_different_faults(self):
+        scenario = with_chaos(
+            SCENARIOS["steady-state"], loss=0.2, duplicate=0.1, jitter=0.1
+        )
+        first = run_scenario(scenario, seed=1, convergence=True)
+        second = run_scenario(scenario, seed=2, convergence=True)
+        assert first.ok and second.ok
+        assert (
+            first.network.transport.lost != second.network.transport.lost
+            or first.summary != second.summary
+        )

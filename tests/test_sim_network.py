@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.engine import Simulator
-from repro.sim.network import Link, Message, Transport
+from repro.sim.network import Link, LinkFaults, Message, Transport
 
 
 class Recorder:
@@ -201,9 +201,20 @@ class TestDropRules:
         assert len(handlers["b"].received) == 1
         assert net.blocked == 1
 
-    def test_remove_unknown_rule_is_idempotent(self):
+    def test_remove_unknown_rule_raises(self):
         _, net = make_net()
-        net.remove_drop_rule(12345)  # must not raise
+        with pytest.raises(KeyError, match="unknown drop rule"):
+            net.remove_drop_rule(12345)
+
+    def test_double_heal_raises(self):
+        # Partition-heal idempotency: the first heal retires the handle,
+        # a second heal of the same handle is a scenario bug and raises
+        # instead of silently passing.
+        _, net, _ = self.wired()
+        rule_id = net.partition([["a"], ["b"]])
+        net.remove_drop_rule(rule_id)
+        with pytest.raises(KeyError):
+            net.remove_drop_rule(rule_id)
 
     def test_multiple_rules_any_blocks(self):
         sim, net, handlers = self.wired()
@@ -251,3 +262,172 @@ class TestDropRules:
         _, net = make_net()
         with pytest.raises(ValueError, match="more than one"):
             net.partition([["a", "b"], ["b", "c"]])
+
+
+class ScriptedRng:
+    """Deterministic U(0, 1) source fed from a canned draw list."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def random(self):
+        return self.values.pop(0)
+
+
+class Forkable(Message):
+    """Fan-out requires forkable envelopes (like UpdateMessage)."""
+
+    kind = "ping"
+    __slots__ = ()
+
+    def fork(self):
+        return Forkable()
+
+
+class TestLinkFaults:
+    """The probabilistic loss/duplication/jitter fault layer."""
+
+    def wired(self):
+        sim, net = make_net(default_delay=0.1)
+        handlers = {}
+        for name in ("a", "b", "c"):
+            handlers[name] = Recorder()
+            net.register(name, handlers[name])
+        return sim, net, handlers
+
+    def test_probability_validation(self):
+        rng = ScriptedRng([])
+        with pytest.raises(ValueError, match="loss"):
+            LinkFaults(rng, loss=1.5)
+        with pytest.raises(ValueError, match="duplicate"):
+            LinkFaults(rng, duplicate=-0.1)
+        with pytest.raises(ValueError, match="jitter"):
+            LinkFaults(rng, jitter=-1.0)
+        with pytest.raises(ValueError, match="rng"):
+            LinkFaults(None, loss=0.1)
+
+    def test_add_rejects_non_spec(self):
+        _, net = make_net()
+        with pytest.raises(TypeError):
+            net.add_link_faults(object())
+
+    def test_remove_unknown_fault_rule_raises(self):
+        _, net = make_net()
+        with pytest.raises(KeyError, match="unknown"):
+            net.remove_link_faults(999)
+
+    def test_loss_drops_but_charges_the_hop(self):
+        sim, net, handlers = self.wired()
+        observed = []
+        net.add_send_observer(lambda s, d, m: observed.append(d))
+        net.add_link_faults(
+            LinkFaults(ScriptedRng([0.4, 0.9]), loss=0.5)
+        )
+        net.send("a", "b", Ping())  # draw 0.4 < 0.5: lost
+        net.send("a", "b", Ping())  # draw 0.9: survives
+        sim.run()
+        assert net.lost == 1
+        assert net.sent == 2
+        assert observed == ["b", "b"]  # bandwidth charged either way
+        assert len(handlers["b"].received) == 1
+
+    def test_duplicate_delivers_twice(self):
+        sim, net, handlers = self.wired()
+        net.add_link_faults(
+            LinkFaults(ScriptedRng([0.1]), duplicate=0.5)
+        )
+        net.send("a", "b", Ping())
+        sim.run()
+        assert net.duplicated == 1
+        assert len(handlers["b"].received) == 2
+        assert net.sent == 1  # one send, two deliveries
+
+    def test_jitter_delays_delivery(self):
+        sim, net, handlers = self.wired()
+        net.add_link_faults(LinkFaults(ScriptedRng([0.5]), jitter=1.0))
+        net.send("a", "b", Ping())
+        sim.run_until(0.55)  # default delay 0.1 + 0.5 jitter = 0.6
+        assert handlers["b"].received == []
+        sim.run()
+        assert len(handlers["b"].received) == 1
+        assert sim.now == pytest.approx(0.6)
+
+    def test_reordering_counted(self):
+        sim, net, handlers = self.wired()
+        net.add_link_faults(
+            LinkFaults(ScriptedRng([0.9, 0.0]), jitter=1.0)
+        )
+        first, second = Ping(), Ping()
+        net.send("a", "b", first)   # arrives at 0.1 + 0.9 = 1.0
+        net.send("a", "b", second)  # arrives at 0.1 + 0.0 = 0.1: overtakes
+        sim.run()
+        assert net.reordered == 1
+        assert [m for m, _ in handlers["b"].received] == [second, first]
+
+    def test_fanout_evaluates_faults_per_recipient(self):
+        # The per-recipient contract (batched fan-out included): one
+        # independent loss decision per destination, never one decision
+        # for the whole batch.
+        sim, net, handlers = self.wired()
+        net.add_link_faults(
+            LinkFaults(ScriptedRng([0.9, 0.1]), loss=0.5)
+        )
+        net.send_fanout("a", ["b", "c"], Forkable())
+        sim.run()
+        assert len(handlers["b"].received) == 1  # draw 0.9: survives
+        assert handlers["c"].received == []      # draw 0.1: lost
+        assert net.lost == 1
+        assert net.sent == 2
+
+    def test_fanout_evaluates_drop_rules_per_recipient(self):
+        sim, net, handlers = self.wired()
+        net.add_drop_rule(lambda src, dst, message: dst == "b")
+        net.send_fanout("a", ["b", "c"], Forkable())
+        sim.run()
+        assert handlers["b"].received == []
+        assert len(handlers["c"].received) == 1
+        assert net.blocked == 1
+        assert net.sent == 2
+
+    def test_fanout_duplicate_per_recipient(self):
+        sim, net, handlers = self.wired()
+        net.add_link_faults(
+            LinkFaults(ScriptedRng([0.1, 0.9]), duplicate=0.5)
+        )
+        net.send_fanout("a", ["b", "c"], Forkable())
+        sim.run()
+        assert len(handlers["b"].received) == 2  # duplicated
+        assert len(handlers["c"].received) == 1
+        assert net.duplicated == 1
+
+    def test_remove_link_faults_heals(self):
+        sim, net, handlers = self.wired()
+        rule_id = net.add_link_faults(
+            LinkFaults(ScriptedRng([0.0]), loss=1.0)
+        )
+        net.send("a", "b", Ping())
+        net.remove_link_faults(rule_id)
+        net.send("a", "b", Ping())  # no draw left, none needed
+        sim.run()
+        assert net.lost == 1
+        assert len(handlers["b"].received) == 1
+        with pytest.raises(KeyError):
+            net.remove_link_faults(rule_id)
+
+    def test_send_direct_bypasses_faults(self):
+        sim, net, handlers = self.wired()
+        net.add_link_faults(LinkFaults(ScriptedRng([]), loss=1.0))
+        net.send_direct("b", Ping(), delay=0.1, src="a")
+        sim.run()
+        assert len(handlers["b"].received) == 1
+        assert net.lost == 0
+
+    def test_drop_rules_win_before_faults(self):
+        # A blocked hop consumes no fault draws.
+        sim, net, handlers = self.wired()
+        net.add_drop_rule(lambda src, dst, message: True)
+        net.add_link_faults(LinkFaults(ScriptedRng([]), loss=0.5))
+        net.send("a", "b", Ping())
+        sim.run()
+        assert net.blocked == 1
+        assert net.lost == 0
