@@ -5,6 +5,9 @@ Usage::
     python -m repro list
     python -m repro run fig3 [--scale small|paper|tiny] [--seed N]
     python -m repro run all --scale small --workers 4
+    python -m repro run macro --nodes 4096 --checkpoint run.ckpt
+    python -m repro run macro --resume --checkpoint run.ckpt
+    python -m repro sweep all --resume --cell-timeout 600 --max-retries 2
     python -m repro quickstart
     python -m repro scenarios list
     python -m repro scenarios run perfect-storm [--seed N] [--no-invariants]
@@ -18,11 +21,22 @@ across N processes, and finished cells persist in an on-disk run cache
 (``--cache-dir``, default ``.repro-cache/``) so repeated invocations —
 and interrupted sweeps — only pay for cells they have not seen.
 ``--no-cache`` forces fresh runs.
+
+``repro sweep`` is ``run`` hardened for hostile machines: the worker
+pool is supervised (per-cell wall-clock timeouts, worker-death
+detection, bounded exponential-backoff retries), completed cells flush
+to the run cache as they finish, and ``--resume`` serves previously
+finished cells from that cache so a killed sweep re-runs only
+unfinished work.  ``repro run macro --checkpoint`` snapshots the single
+long macro simulation periodically; ``--resume`` picks it up from the
+latest snapshot and finishes with byte-identical results.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import Callable, Dict
@@ -91,7 +105,84 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_macro(args: argparse.Namespace) -> int:
+    """One long macro cell with durable checkpoints (``run macro``).
+
+    The checkpoint drill: ``--checkpoint PATH`` snapshots periodically
+    while running; after a crash (or ``kill -9``), ``--resume
+    --checkpoint PATH`` audits and finishes the latest snapshot, and the
+    final summary is byte-identical to an uninterrupted run
+    (``--summary-json`` emits the canonical form for comparison).
+    """
+    from repro.core.protocol import CupNetwork
+    from repro.persistence import (
+        checkpoint_info,
+        load_checkpoint,
+        verify_restored,
+    )
+
+    scale = resolve_scale(args.scale)
+    path = args.checkpoint
+    if args.resume:
+        if path is None or not os.path.exists(path):
+            print(
+                f"--resume needs an existing checkpoint (--checkpoint "
+                f"{path or 'PATH'} not found)",
+                file=sys.stderr,
+            )
+            return 2
+        info = checkpoint_info(path)
+        print(
+            f"resuming from {path}: t={info['sim_now']:.1f}s of "
+            f"{info['sim_end']:.1f}s, {info['pending_events']} pending "
+            f"events, n={info['num_nodes']}, seed={info['seed']}"
+        )
+        net = load_checkpoint(path)
+        verify_restored(net)
+        print("post-restore audit: clean")
+    else:
+        config = scale.config(
+            seed=args.seed, num_nodes=args.nodes,
+            query_rate=scale.rate(100.0),
+        )
+        net = CupNetwork(config)
+        print(
+            f"macro cell: n={args.nodes} paper-rate=100 "
+            f"scale={scale.name} seed={args.seed}"
+        )
+    if path is not None:
+        net.enable_checkpoints(
+            path,
+            every_events=args.checkpoint_every_events,
+            every_seconds=args.checkpoint_every_seconds,
+        )
+    started = time.time()
+    summary = net.run()
+    elapsed = time.time() - started
+    print(
+        f"miss cost {summary.miss_cost}  overhead "
+        f"{summary.overhead_cost}  total {summary.total_cost}  "
+        f"miss latency {summary.miss_latency:.3f} hops"
+    )
+    print(f"(macro completed in {elapsed:.1f}s)")
+    if args.summary_json is not None:
+        with open(args.summary_json, "w") as handle:
+            json.dump(summary.to_dict(), handle, sort_keys=True)
+            handle.write("\n")
+        print(f"summary written to {args.summary_json}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment == "macro":
+        return _run_macro(args)
+    if args.checkpoint is not None or args.resume:
+        print(
+            "--checkpoint/--resume apply to the single-cell 'macro' run "
+            "(sweeps resume via the run cache: see 'repro sweep')",
+            file=sys.stderr,
+        )
+        return 2
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
@@ -123,6 +214,100 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"run cache: {cache.stats} under "
             f"{cache.root}/{cache.fingerprint} "
             f"(workers={executor.default_workers()})"
+        )
+    return status
+
+
+def _print_cell_report(report) -> None:
+    if not report:
+        return
+    print("per-cell report:")
+    print(f"  {'label':36s} {'source':7s} {'tries':>5s} "
+          f"{'retries':>7s} {'wall':>8s}")
+    for cell in report:
+        line = (
+            f"  {str(cell.label):36s} {cell.source:7s} "
+            f"{cell.attempts:5d} {cell.retries:7d} "
+            f"{cell.wall_seconds:7.2f}s"
+        )
+        if cell.error:
+            line += f"  [{cell.error}]"
+        print(line)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Supervised sweep: timeouts, retries, per-cell flush, --resume."""
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    scale = resolve_scale(args.scale)
+    if args.workers is not None:
+        executor.configure(workers=args.workers)
+    executor.configure_supervision(executor.Supervision(
+        cell_timeout=args.cell_timeout,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+    ))
+    root = args.cache_dir or os.environ.get(
+        runcache.CACHE_DIR_ENV, runcache.DEFAULT_CACHE_DIR
+    )
+    if args.resume:
+        # Serve finished cells from the persistent cache: after a hard
+        # abort only unfinished work re-runs.
+        cache = runcache.configure(cache_dir=root)
+    else:
+        # Fresh sweep, but each completed cell still flushes to disk so
+        # a later --resume can pick up from an abort.
+        from repro.experiments.runner import clear_cache
+
+        clear_cache()
+        cache = runcache.install(runcache.WriteOnlyCache(root))
+    executor.drain_report()  # discard accounting from before this sweep
+    status = 0
+    for name in names:
+        _, runner = EXPERIMENTS[name]
+        started = time.time()
+        try:
+            result = runner(scale, args.seed)
+        except executor.SweepError as err:
+            elapsed = time.time() - started
+            print(f"{name} FAILED after {elapsed:.1f}s: {err}")
+            for label, reason in err.failures.items():
+                print(f"  {label!r}: {reason}")
+            status = 1
+            continue
+        elapsed = time.time() - started
+        print(result.report())
+        print(f"({name} completed in {elapsed:.1f}s at scale={scale.name})\n")
+        if not result.all_expectations_hold():
+            status = 1
+    report = executor.drain_report()
+    _print_cell_report(report)
+    if args.report_json is not None:
+        payload = [
+            {
+                "label": str(cell.label),
+                "source": cell.source,
+                "attempts": cell.attempts,
+                "retries": cell.retries,
+                "wall_seconds": round(cell.wall_seconds, 6),
+                "error": cell.error,
+            }
+            for cell in report
+        ]
+        with open(args.report_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"per-cell report written to {args.report_json}")
+    if cache is not None:
+        print(
+            f"run cache: {cache.stats} under "
+            f"{cache.root}/{cache.fingerprint} "
+            f"(workers={executor.default_workers()}, "
+            f"resume={'on' if args.resume else 'off'})"
         )
     return status
 
@@ -305,7 +490,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run an experiment")
     run_parser.add_argument(
-        "experiment", help=f"one of: {', '.join(EXPERIMENTS)}, or 'all'"
+        "experiment",
+        help=f"one of: {', '.join(EXPERIMENTS)}, 'all', or 'macro' "
+             "(one long checkpointable cell)",
     )
     run_parser.add_argument(
         "--scale", default=None, choices=["tiny", "small", "paper"],
@@ -326,7 +513,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-cache directory (default: $REPRO_CACHE_DIR or "
              ".repro-cache)",
     )
+    run_parser.add_argument(
+        "--nodes", type=_positive_int, default=4096, metavar="N",
+        help="network size for the 'macro' cell (default 4096)",
+    )
+    run_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="('macro' only) periodically snapshot the run to PATH; "
+             "a killed run resumes from the latest snapshot",
+    )
+    run_parser.add_argument(
+        "--resume", action="store_true",
+        help="('macro' only) resume from --checkpoint PATH instead of "
+             "starting fresh",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every-events", type=_positive_int, default=None,
+        metavar="N", help="snapshot cadence in simulation events",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every-seconds", type=float, default=None,
+        metavar="S", help="snapshot cadence in simulated seconds",
+    )
+    run_parser.add_argument(
+        "--summary-json", default=None, metavar="PATH",
+        help="('macro' only) write the final summary as canonical "
+             "sorted-keys JSON (for byte comparison across resumes)",
+    )
     run_parser.set_defaults(fn=_cmd_run)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run experiments under the supervised executor (per-cell "
+             "timeouts, retries, incremental flush, --resume)",
+    )
+    sweep_parser.add_argument(
+        "experiment", help=f"one of: {', '.join(EXPERIMENTS)}, or 'all'"
+    )
+    sweep_parser.add_argument(
+        "--scale", default=None, choices=["tiny", "small", "paper"],
+        help="parameter preset (default: $REPRO_SCALE or 'small')",
+    )
+    sweep_parser.add_argument("--seed", type=int, default=42)
+    sweep_parser.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_WORKERS or 1 = serial)",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="serve already-finished cells from the run cache; only "
+             "unfinished work re-runs",
+    )
+    sweep_parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="S",
+        help="per-attempt wall-clock budget for one cell "
+             "(default: unlimited)",
+    )
+    sweep_parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per cell after worker death or timeout (default 2)",
+    )
+    sweep_parser.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="S",
+        help="base of the exponential retry backoff (default 0.5s)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="run-cache directory (default: $REPRO_CACHE_DIR or "
+             ".repro-cache)",
+    )
+    sweep_parser.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="write the per-cell wall-time/retry report as JSON "
+             "(CI artifact)",
+    )
+    sweep_parser.set_defaults(fn=_cmd_sweep)
 
     quick_parser = sub.add_parser(
         "quickstart", help="tiny CUP vs standard caching comparison"

@@ -34,6 +34,7 @@ Protocol modes
 from __future__ import annotations
 
 import dataclasses
+import functools
 import time
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -123,6 +124,18 @@ class CupConfig:
     handover_entries: bool = True      # §2.9 index handover on churn
     trace: bool = False
 
+    # --- checkpointing --------------------------------------------------
+    # Durable-run knobs (see repro.persistence.checkpoint): with a path
+    # set, CupNetwork.run() writes a restorable snapshot of the whole
+    # deterministic run state every N processed events and/or every S
+    # *simulated* seconds.  Snapshots are taken between engine chunks,
+    # never as scheduled events, so a checkpointed run is byte-identical
+    # to a plain one.  Like ``trace``, these knobs are not part of
+    # run-cache keys.
+    checkpoint_path: Optional[str] = None
+    checkpoint_every_events: Optional[int] = None
+    checkpoint_every_seconds: Optional[float] = None
+
     @property
     def query_end(self) -> float:
         return self.query_start + self.query_duration
@@ -175,6 +188,22 @@ class CupConfig:
             raise ValueError(
                 f"unknown priority_profile: {self.priority_profile!r}; "
                 f"choose from {sorted(PRIORITY_PROFILES)}"
+            )
+        if (
+            self.checkpoint_every_events is not None
+            and self.checkpoint_every_events < 1
+        ):
+            raise ValueError(
+                "checkpoint_every_events must be >= 1 or None, "
+                f"got {self.checkpoint_every_events}"
+            )
+        if (
+            self.checkpoint_every_seconds is not None
+            and self.checkpoint_every_seconds <= 0
+        ):
+            raise ValueError(
+                "checkpoint_every_seconds must be positive or None, "
+                f"got {self.checkpoint_every_seconds}"
             )
         if not self.reliable_transport:
             # Constructing the config object validates the knobs early
@@ -284,6 +313,17 @@ class CupNetwork:
         self._keepalive_settings = None
         # Runtime invariant checker: off until attach_invariants().
         self.invariants = None
+        # Durable-snapshot settings (config defaults; enable_checkpoints()
+        # overrides).  The flag below makes run() resumable: a restored
+        # network must not re-begin its workload.
+        self._checkpoint_path = config.checkpoint_path
+        self._checkpoint_every_events = config.checkpoint_every_events
+        self._checkpoint_every_seconds = config.checkpoint_every_seconds
+        self._workload_begun = False
+        #: The compiled ScenarioRuntime driving this run, when any —
+        #: registered by Scenario.compile_onto so a restored network
+        #: keeps its stressor schedule and narration log.
+        self.scenario_runtime = None
         self._crashed: set = set()
         #: (time, reporter, suspect) per completed failure detection.
         self.failure_detections: List[tuple] = []
@@ -423,8 +463,10 @@ class CupNetwork:
             self.streams.get("workload-arrivals"),
         )
         # Read the member list afresh on every draw: churn replaces it.
+        # A bound method, not a lambda, so the workload pickles into
+        # checkpoints.
         select_node = uniform_node_selector(
-            lambda: self._member_list, self.streams.get("workload-nodes")
+            self.live_node_ids, self.streams.get("workload-nodes")
         )
 
         self.workload = QueryWorkload(
@@ -465,12 +507,46 @@ class CupNetwork:
             + self.overlay.table_builds - base_builds
         )
 
-    def run(self) -> MetricsSummary:
-        """Run the full configured experiment and return its metrics."""
+    def run(self, until: Optional[float] = None) -> Optional[MetricsSummary]:
+        """Run the configured experiment; return metrics when complete.
+
+        Without ``until`` the simulation is driven to ``config.sim_end``
+        (writing periodic checkpoints when configured — see
+        :meth:`enable_checkpoints`) and the summary is returned.  With an
+        ``until`` before the end, the clock stops there and ``None`` is
+        returned; calling :meth:`run` again — on this network or on a
+        :meth:`restore`\\ d copy — picks up exactly where it left off,
+        because the workload begins only once.
+        """
         if self.workload is None:
             self.attach_workload()
-        self.workload.begin()
-        self.sim.run_until(self.config.sim_end)
+        if not self._workload_begun:
+            self._workload_begun = True
+            self.workload.begin()
+        deadline = self.config.sim_end
+        partial = until is not None and until < deadline
+        if partial:
+            deadline = until
+        if (
+            self._checkpoint_path is not None
+            and deadline > self.sim.now
+        ):
+            every_events = self._checkpoint_every_events
+            every_seconds = self._checkpoint_every_seconds
+            if every_events is None and every_seconds is None:
+                from repro.persistence.checkpoint import DEFAULT_EVERY_EVENTS
+
+                every_events = DEFAULT_EVERY_EVENTS
+            self.sim.run_with_checkpoints(
+                deadline,
+                self._auto_checkpoint,
+                every_events=every_events,
+                every_seconds=every_seconds,
+            )
+        else:
+            self.sim.run_until(deadline)
+        if partial:
+            return None
         self._refresh_setup_costs()
         if self.invariants is not None:
             self.invariants.check_quiescent()
@@ -479,6 +555,56 @@ class CupNetwork:
     def run_until(self, deadline: float) -> None:
         """Advance the simulation clock (incremental driving for tests)."""
         self.sim.run_until(deadline)
+
+    # ------------------------------------------------------------------
+    # Durable snapshots (checkpoint/resume)
+    # ------------------------------------------------------------------
+
+    def enable_checkpoints(
+        self,
+        path: str,
+        every_events: Optional[int] = None,
+        every_seconds: Optional[float] = None,
+    ) -> None:
+        """Arrange periodic durable snapshots during :meth:`run`.
+
+        ``path`` is overwritten atomically on every checkpoint, so it
+        always holds the latest restorable state.  Cadence is every
+        ``every_events`` processed events and/or every ``every_seconds``
+        *simulated* seconds; with neither given, a default event cadence
+        applies.  Snapshotting happens between engine chunks — it adds
+        no simulation events, so results are byte-identical to an
+        uncheckpointed run.
+        """
+        from repro.persistence.checkpoint import DEFAULT_EVERY_EVENTS
+
+        if every_events is None and every_seconds is None:
+            every_events = DEFAULT_EVERY_EVENTS
+        self._checkpoint_path = path
+        self._checkpoint_every_events = every_events
+        self._checkpoint_every_seconds = every_seconds
+
+    def _auto_checkpoint(self) -> None:
+        from repro.persistence.checkpoint import save_checkpoint
+
+        save_checkpoint(self, self._checkpoint_path)
+
+    def snapshot(self) -> bytes:
+        """Serialize the complete deterministic run state to bytes.
+
+        See :mod:`repro.persistence.checkpoint` for the format and the
+        byte-identity guarantee.
+        """
+        from repro.persistence.checkpoint import snapshot_network
+
+        return snapshot_network(self)
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "CupNetwork":
+        """Reconstruct a network from :meth:`snapshot` bytes."""
+        from repro.persistence.checkpoint import restore_network
+
+        return restore_network(blob)
 
     # ------------------------------------------------------------------
     # Capacity faults (§3.7)
@@ -541,12 +667,14 @@ class CupNetwork:
         return checker
 
     def _schedule_invariant_audit(self, interval: float) -> None:
-        def tick() -> None:
-            self.invariants.audit_network()
-            if self.sim.now < self.config.sim_end:
-                self.sim.schedule(interval, tick)
+        self.sim.schedule(interval, self._invariant_audit_tick, interval)
 
-        self.sim.schedule(interval, tick)
+    def _invariant_audit_tick(self, interval: float) -> None:
+        # A bound method (not a closure) so a pending audit tick pickles
+        # into checkpoints along with everything else on the heap.
+        self.invariants.audit_network()
+        if self.sim.now < self.config.sim_end:
+            self.sim.schedule(interval, self._invariant_audit_tick, interval)
 
     # ------------------------------------------------------------------
     # Keep-alive failure detection (§2.1)
@@ -577,15 +705,21 @@ class CupNetwork:
             sim=self.sim,
             transport=self.transport,
             node_id=node_id,
-            neighbors_fn=lambda nid=node_id: (
-                list(self.overlay.neighbors(nid)) if nid in self.nodes else []
-            ),
+            # A partial of a bound method (not a lambda) so monitors
+            # pickle into checkpoints.
+            neighbors_fn=functools.partial(self._monitor_neighbors, node_id),
             period=period,
             miss_threshold=miss_threshold,
             on_suspect=self._on_suspected_failure,
         )
         node.keepalive_monitor = monitor
         monitor.start()
+
+    def _monitor_neighbors(self, node_id: NodeId) -> List[NodeId]:
+        """Current overlay neighbors of a member (empty once departed)."""
+        if node_id not in self.nodes:
+            return []
+        return list(self.overlay.neighbors(node_id))
 
     def crash_node(self, node_id: NodeId) -> None:
         """A node fails silently: gone from the transport, overlay intact.

@@ -11,12 +11,24 @@ declarative §3.7 fault schedule) and submit them in one batch to
    standard-caching twins are computed once, not once per worker);
 2. serves whatever it can from the in-process memo and the persistent
    disk cache (:mod:`repro.experiments.runcache`);
-3. fans the remaining cells out across a ``multiprocessing`` pool
+3. fans the remaining cells out across a *supervised* worker pool
    (``workers=1`` falls back to a plain serial loop in-process);
-4. stores every fresh result back into both cache layers;
+4. flushes every fresh result into both cache layers **as it
+   completes**, so an aborted sweep keeps its finished cells and a
+   rerun (``repro sweep --resume``) re-runs only unfinished work;
 5. returns ``{label: MetricsSummary}`` with deterministic content —
    results are keyed, so worker scheduling order can never leak into
    tables.
+
+Supervision (:class:`Supervision`) is what lets a sweep outlive a
+hostile machine: each in-flight cell is watched for worker death
+(SIGKILL, OOM — the process vanishes and is respawned) and for
+wall-clock hangs (``cell_timeout``); victims are retried with bounded
+exponential backoff, and only when retries exhaust is the cell marked
+failed — the rest of the batch still completes, and the failures
+surface together as a :class:`SweepError`.  A test-only fault injector
+(:class:`WorkerFault`) drives crash/hang drills through the exact
+production path, the way ``LinkFaults`` drives the protocol tests.
 
 Worker-count resolution: explicit ``workers=`` argument >
 :func:`configure` (the CLI's ``--workers``) > ``$REPRO_WORKERS`` > 1.
@@ -25,9 +37,15 @@ Worker-count resolution: explicit ``workers=`` argument >
 from __future__ import annotations
 
 import atexit
+import contextlib
 import dataclasses
+import heapq
+import itertools
 import multiprocessing
 import os
+import signal
+import time
+from collections import deque
 from typing import (
     Dict,
     Hashable,
@@ -195,13 +213,157 @@ def default_workers() -> int:
 
 
 # ----------------------------------------------------------------------
+# Supervision policy and reporting
+# ----------------------------------------------------------------------
+
+
+WORKER_FAULT_KINDS = ("sigkill", "hang")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerFault:
+    """Test-only fault injected into a worker *before* it runs a cell.
+
+    ``sigkill`` makes the worker kill itself with ``SIGKILL`` (the
+    process vanishes without cleanup — indistinguishable from the OOM
+    killer); ``hang`` makes it sleep forever (indistinguishable from a
+    livelocked cell).  The fault fires on the cell's first ``times``
+    attempts and then stands down, so retry paths can be exercised
+    end-to-end.  Faults ride along with the dispatched task — they are
+    not part of the :class:`Cell` and can never leak into cache keys.
+    """
+
+    kind: str
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown worker fault kind: {self.kind!r}; choose "
+                f"from {WORKER_FAULT_KINDS}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Supervision:
+    """Retry/timeout policy for the supervised worker pool.
+
+    ``cell_timeout`` is the per-attempt wall-clock budget (``None``
+    disables hang detection); a cell that dies or times out is retried
+    up to ``max_retries`` more times, waiting
+    ``retry_backoff * 2**(attempt-1)`` seconds before each retry.
+    ``poll_interval`` is how often the supervisor wakes when nothing is
+    happening.
+    """
+
+    cell_timeout: Optional[float] = None
+    max_retries: int = 2
+    retry_backoff: float = 0.5
+    poll_interval: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError(
+                f"cell_timeout must be positive, got {self.cell_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+
+
+@dataclasses.dataclass
+class CellReport:
+    """Per-cell accounting from the last :func:`execute` batch.
+
+    ``source`` is where the result came from: ``"memo"`` / ``"disk"``
+    (cache hit — zero attempts), ``"run"`` (computed this batch), or
+    ``"failed"`` (retries exhausted; ``error`` says why).
+    ``wall_seconds`` accumulates across attempts, dead ones included.
+    """
+
+    label: Hashable
+    source: str
+    attempts: int = 0
+    wall_seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+
+class SweepError(RuntimeError):
+    """Some cells failed after exhausting their retries.
+
+    Raised at the *end* of the batch: every other cell has already
+    settled and flushed to the caches, so a follow-up run re-runs only
+    the failures.  ``failures`` maps label to the failure reason;
+    ``results`` holds the summaries of every cell that did succeed.
+    """
+
+    def __init__(self, failures, results):
+        self.failures = dict(failures)
+        self.results = dict(results)
+        labels = ", ".join(repr(label) for label in self.failures)
+        super().__init__(
+            f"{len(self.failures)} cell(s) failed after retries: {labels}"
+        )
+
+
+_supervision: Optional[Supervision] = None
+
+
+def configure_supervision(supervision: Optional[Supervision]) -> None:
+    """Set the process-wide default supervision policy (``None`` resets)."""
+    global _supervision
+    _supervision = supervision
+
+
+def default_supervision() -> Supervision:
+    return _supervision if _supervision is not None else Supervision()
+
+
+_last_report: List[CellReport] = []
+_session_report: List[CellReport] = []
+
+
+def last_report() -> List[CellReport]:
+    """Per-cell reports from the most recent :func:`execute` batch."""
+    return list(_last_report)
+
+
+def drain_report() -> List[CellReport]:
+    """All per-cell reports accumulated since the last drain.
+
+    A sweep harness may issue several :func:`execute` batches; the CLI
+    drains once before the sweep (to discard history) and once after
+    (to print/export the whole sweep's accounting).
+    """
+    global _session_report
+    report = _session_report
+    _session_report = []
+    return report
+
+
+# ----------------------------------------------------------------------
 # Batch execution
 # ----------------------------------------------------------------------
 
 CellsInput = Union[Iterable[Cell], Mapping[Hashable, CupConfig]]
 
 # ----------------------------------------------------------------------
-# Persistent worker pool
+# Supervised persistent worker pool
 # ----------------------------------------------------------------------
 #
 # A sweep is often submitted as several execute() batches (one per table
@@ -210,27 +372,254 @@ CellsInput = Union[Iterable[Cell], Mapping[Hashable, CupConfig]]
 # modules and, above all, the per-process topology snapshot cache — so
 # the pool persists across calls and is only rebuilt when the requested
 # worker count changes.
+#
+# The pool is hand-rolled rather than multiprocessing.Pool because Pool
+# cannot survive a worker dying mid-task: it respawns the process, but
+# the in-flight imap_unordered item never completes and the sweep hangs
+# forever.  Here each worker owns a dedicated task pipe and posts
+# results on a shared queue, so the supervisor can detect death
+# (is_alive) and hangs (wall-clock timeout), replace the worker, and
+# retry or fail just that cell.
 
-_pool = None
+
+def _worker_main(tasks, results) -> None:
+    """Worker loop: receive ``(token, cell, fault)``, post the outcome.
+
+    Runs in the child process.  A ``None`` task — or the parent closing
+    the pipe — is the shutdown signal.  Exceptions from the cell itself
+    are posted back as failures (they are deterministic; retrying them
+    would find the same bug), so only process death and hangs are
+    retried by the supervisor.
+    """
+    while True:
+        try:
+            task = tasks.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        token, cell, fault = task
+        if fault is not None:
+            if fault.kind == "sigkill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            while True:  # hang
+                time.sleep(3600.0)
+        try:
+            summary = run_cell(cell)
+        except Exception as exc:
+            results.put((token, False, f"{type(exc).__name__}: {exc}"))
+        else:
+            results.put((token, True, summary))
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "token", "key", "cell", "started")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.token: Optional[int] = None  # None = idle
+        self.key: Optional[tuple] = None
+        self.cell: Optional[Cell] = None
+        self.started = 0.0
+
+
+class _WorkerPool:
+    """Fixed-size pool of supervised worker processes."""
+
+    def __init__(self, processes: int):
+        self.processes = processes
+        self._ctx = multiprocessing.get_context()
+        self._results = self._ctx.SimpleQueue()
+        # Tokens are unique for the pool's lifetime, so a result posted
+        # by a worker we have since given up on (timed out, superseded)
+        # can never be mistaken for a live attempt — stale tokens are
+        # simply not in the in-flight table and get dropped.
+        self._tokens = itertools.count()
+        self._workers = [self._spawn() for _ in range(processes)]
+
+    # -- process lifecycle ---------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        recv_end, send_end = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(recv_end, self._results),
+            daemon=True,
+        )
+        process.start()
+        recv_end.close()  # child keeps its copy; parent only sends
+        return _Worker(process, send_end)
+
+    def _retire(self, worker: _Worker) -> None:
+        with contextlib.suppress(OSError):
+            worker.conn.close()
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join()
+
+    def _replace(self, worker: _Worker) -> None:
+        self._retire(worker)
+        fresh = self._spawn()
+        worker.process = fresh.process
+        worker.conn = fresh.conn
+        worker.token = None
+        worker.key = None
+        worker.cell = None
+
+    def shutdown(self) -> None:
+        """Terminate AND join every worker — no leaked processes."""
+        for worker in self._workers:
+            self._retire(worker)
+        self._workers = []
+
+    # -- supervised batch ----------------------------------------------
+
+    def run_batch(self, items, supervision, faults, settle):
+        """Run ``items`` (``[(key, cell)]``) under supervision.
+
+        ``faults`` maps key to a :class:`WorkerFault`; ``settle(key,
+        summary)`` is called as each cell completes.  Returns
+        ``(failures, stats)``: key -> reason for cells whose retries
+        exhausted, and key -> (attempts, wall_seconds) for every cell.
+        """
+        ready = deque(items)
+        attempts = {key: 0 for key, _ in items}
+        wall = {key: 0.0 for key, _ in items}
+        # Retry heap entries carry a counter tiebreak: cell keys mix
+        # None/str/float and would TypeError under tuple comparison.
+        retries: list = []
+        tiebreak = itertools.count()
+        inflight: Dict[int, _Worker] = {}
+        failures: Dict[tuple, str] = {}
+        outstanding = len(items)
+
+        while outstanding:
+            progressed = False
+            now = time.monotonic()
+
+            # Promote retries whose backoff has elapsed.
+            while retries and retries[0][0] <= now:
+                _, _, key, cell = heapq.heappop(retries)
+                ready.append((key, cell))
+
+            # Hand ready cells to idle workers.
+            for worker in self._workers:
+                if not ready:
+                    break
+                if worker.token is not None:
+                    continue
+                key, cell = ready[0]
+                token = next(self._tokens)
+                fault = faults.get(key)
+                if fault is not None and attempts[key] >= fault.times:
+                    fault = None  # fault already fired its quota
+                try:
+                    worker.conn.send((token, cell, fault))
+                except (OSError, BrokenPipeError):
+                    # Worker died while idle; replace it and re-offer
+                    # the cell on the next pass.
+                    self._replace(worker)
+                    progressed = True
+                    continue
+                ready.popleft()
+                attempts[key] += 1
+                worker.token = token
+                worker.key = key
+                worker.cell = cell
+                worker.started = time.monotonic()
+                inflight[token] = worker
+
+            # Drain completions.
+            while not self._results.empty():
+                token, ok, payload = self._results.get()
+                worker = inflight.pop(token, None)
+                if worker is None:
+                    continue  # stale: attempt was superseded
+                key = worker.key
+                wall[key] += time.monotonic() - worker.started
+                worker.token = None
+                worker.key = None
+                worker.cell = None
+                progressed = True
+                outstanding -= 1
+                if ok:
+                    settle(key, payload)
+                else:
+                    failures[key] = payload
+
+            # Supervise busy workers: death and hangs.
+            now = time.monotonic()
+            for worker in self._workers:
+                if worker.token is None:
+                    continue
+                died = not worker.process.is_alive()
+                timeout = supervision.cell_timeout
+                hung = (
+                    timeout is not None
+                    and now - worker.started > timeout
+                )
+                if not (died or hung):
+                    continue
+                progressed = True
+                key, cell = worker.key, worker.cell
+                wall[key] += now - worker.started
+                inflight.pop(worker.token, None)
+                if died:
+                    reason = (
+                        "worker died mid-cell "
+                        f"(exitcode {worker.process.exitcode})"
+                    )
+                else:
+                    reason = (
+                        f"cell exceeded {timeout:g}s wall-clock timeout"
+                    )
+                self._replace(worker)
+                if attempts[key] > supervision.max_retries:
+                    failures[key] = (
+                        f"{reason}; retries exhausted after "
+                        f"{attempts[key]} attempt(s)"
+                    )
+                    outstanding -= 1
+                else:
+                    delay = supervision.retry_backoff * (
+                        2 ** (attempts[key] - 1)
+                    )
+                    heapq.heappush(
+                        retries, (now + delay, next(tiebreak), key, cell)
+                    )
+
+            if not progressed:
+                time.sleep(supervision.poll_interval)
+
+        stats = {key: (attempts[key], wall[key]) for key, _ in items}
+        return failures, stats
+
+
+_pool: Optional[_WorkerPool] = None
 _pool_processes = 0
 
 
-def _get_pool(processes: int):
+def _get_pool(processes: int) -> _WorkerPool:
     global _pool, _pool_processes
     if _pool is not None and _pool_processes != processes:
         shutdown_pool()
     if _pool is None:
-        _pool = multiprocessing.get_context().Pool(processes=processes)
+        _pool = _WorkerPool(processes)
         _pool_processes = processes
     return _pool
 
 
 def shutdown_pool() -> None:
-    """Terminate the persistent worker pool (tests, process exit)."""
+    """Terminate *and join* the persistent worker pool.
+
+    Joining matters: on a KeyboardInterrupt mid-sweep this is what
+    guarantees no orphaned workers keep burning CPU after the parent
+    returns to the prompt.
+    """
     global _pool, _pool_processes
     if _pool is not None:
-        _pool.terminate()
-        _pool.join()
+        _pool.shutdown()
         _pool = None
         _pool_processes = 0
 
@@ -260,6 +649,8 @@ def execute(
     cells: CellsInput,
     workers: Optional[int] = None,
     use_cache: bool = True,
+    supervision: Optional[Supervision] = None,
+    worker_faults: Optional[Mapping[Hashable, WorkerFault]] = None,
 ) -> Dict[Hashable, MetricsSummary]:
     """Run a batch of cells, returning ``{label: summary}``.
 
@@ -267,13 +658,31 @@ def execute(
     mapping.  Labels must be unique; cells whose *run key* coincides are
     computed once and share the result object.  The returned dict
     preserves the submission order of its labels.
+
+    ``supervision`` overrides the process default
+    (:func:`configure_supervision`); ``worker_faults`` maps labels to
+    test-only :class:`WorkerFault` injections.  Each completed cell is
+    flushed to the caches immediately; if any cell exhausts its retries
+    a :class:`SweepError` carrying the survivors is raised once the
+    whole batch has settled.  Per-cell accounting for the batch is
+    available afterwards from :func:`last_report`.
     """
+    global _last_report
     batch = _normalize(cells)
     keys = {cell.label: cell_key(cell) for cell in batch}
     disk = runcache.active() if use_cache else None
+    policy = supervision if supervision is not None else default_supervision()
+    faults_by_label = dict(worker_faults or {})
+    unknown = set(faults_by_label) - {cell.label for cell in batch}
+    if unknown:
+        raise ValueError(
+            "worker_faults name labels not in the batch: "
+            f"{sorted(unknown, key=repr)}"
+        )
 
     resolved: Dict[tuple, MetricsSummary] = {}
     pending: Dict[tuple, Cell] = {}
+    sources: Dict[tuple, str] = {}
     for cell in batch:
         key = keys[cell.label]
         if key in resolved or key in pending:
@@ -282,15 +691,20 @@ def execute(
             memo = memo_get(key)
             if memo is not None:
                 resolved[key] = memo
+                sources[key] = "memo"
                 continue
             if disk is not None:
                 stored = disk.get(key)
                 if stored is not None:
                     resolved[key] = stored
                     memo_put(key, stored)
+                    sources[key] = "disk"
                     continue
         pending[key] = cell
+        sources[key] = "run"
 
+    failures_by_key: Dict[tuple, str] = {}
+    stats: Dict[tuple, Tuple[int, float]] = {}
     if pending:
         count = default_workers() if workers is None else max(1, workers)
         items = list(pending.items())
@@ -305,16 +719,50 @@ def execute(
                     disk.put(key, summary)
 
         if count > 1 and len(items) > 1:
+            faults_by_key = {
+                keys[label]: fault
+                for label, fault in faults_by_label.items()
+                if keys[label] in pending
+            }
             # The persistent pool is sized by the requested worker count
             # (not the batch): a sweep's batches reuse the same workers
             # and their warm topology snapshots.
             pool = _get_pool(count)
-            for key, summary in pool.imap_unordered(
-                _run_keyed, items, chunksize=1
-            ):
-                settle(key, summary)
+            try:
+                failures_by_key, stats = pool.run_batch(
+                    items, policy, faults_by_key, settle
+                )
+            except BaseException:
+                # A hard abort (KeyboardInterrupt above all) must not
+                # leak workers: tear the whole pool down — terminate
+                # and join — before propagating.
+                shutdown_pool()
+                raise
         else:
             for item in items:
+                started = time.monotonic()
                 settle(*_run_keyed(item))
+                stats[item[0]] = (1, time.monotonic() - started)
 
-    return {cell.label: resolved[keys[cell.label]] for cell in batch}
+    report: List[CellReport] = []
+    results: Dict[Hashable, MetricsSummary] = {}
+    failures: Dict[Hashable, str] = {}
+    for cell in batch:
+        key = keys[cell.label]
+        n, seconds = stats.get(key, (0, 0.0))
+        if key in failures_by_key:
+            reason = failures_by_key[key]
+            failures[cell.label] = reason
+            report.append(
+                CellReport(cell.label, "failed", n, seconds, reason)
+            )
+        else:
+            results[cell.label] = resolved[key]
+            report.append(
+                CellReport(cell.label, sources.get(key, "run"), n, seconds)
+            )
+    _last_report = report
+    _session_report.extend(report)
+    if failures:
+        raise SweepError(failures, results)
+    return results

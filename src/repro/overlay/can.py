@@ -23,6 +23,7 @@ so floating-point comparisons of zone edges are exact.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.overlay.base import InternTable, NodeId, Overlay, RoutingError
@@ -232,8 +233,10 @@ class CanOverlay(Overlay):
         super().__init__()
         self.dims = dims
         self._nodes: Dict[NodeId, CanNodeState] = {}
+        # A partial, not a lambda, so the overlay stays picklable for
+        # checkpoints; ``dims`` is fixed at construction.
         self._key_point = InternTable(
-            lambda key: hash_to_unit_point(key, self.dims)
+            functools.partial(hash_to_unit_point, dims=self.dims)
         )
         # (cols, rows) while the membership is exactly a perfect_grid
         # construction; None once churn breaks the regular geometry.

@@ -21,6 +21,7 @@ bump ``epoch``, which drops both the finger tables and the memo.
 from __future__ import annotations
 
 import bisect
+import functools
 import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -52,8 +53,10 @@ class ChordOverlay(Overlay):
         self._ring: List[int] = []  # sorted ring positions
         # Interned key → ring position (hashlib runs once per key string;
         # positions do not depend on membership, so never invalidated).
+        # A partial, not a lambda: overlays live inside checkpointable
+        # networks, and ``bits`` is fixed at construction anyway.
         self._key_position = InternTable(
-            lambda key: hash_to_int(key, self.bits, salt="chord-key")
+            functools.partial(hash_to_int, bits=self.bits, salt="chord-key")
         )
         # position → deduplicated descending-stride finger targets,
         # built lazily per member per epoch.

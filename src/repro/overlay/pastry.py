@@ -41,6 +41,7 @@ membership change bumps ``epoch``.
 from __future__ import annotations
 
 import bisect
+import functools
 import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -73,9 +74,10 @@ class PastryOverlay(Overlay):
         self._node_at: Dict[int, NodeId] = {}
         self._members: List[Tuple[int, NodeId]] = []  # sorted by position
         # Interned key → identifier position (hashlib once per string;
-        # membership-independent, so never invalidated).
+        # membership-independent, so never invalidated).  A partial, not
+        # a lambda, so the overlay stays picklable for checkpoints.
         self._key_position = InternTable(
-            lambda key: hash_to_int(key, self.bits, salt="pastry-key")
+            functools.partial(hash_to_int, bits=self.bits, salt="pastry-key")
         )
         # Parallel interned arrays derived from _members, rebuilt lazily
         # once per epoch: positions for bisect, ids for the result.

@@ -1,0 +1,14 @@
+"""Durable state for long simulations: checkpoint/resume."""
+
+from repro.persistence.checkpoint import (  # noqa: F401
+    DEFAULT_EVERY_EVENTS,
+    CheckpointError,
+    CheckpointFormatError,
+    FingerprintMismatch,
+    checkpoint_info,
+    load_checkpoint,
+    restore_network,
+    save_checkpoint,
+    snapshot_network,
+    verify_restored,
+)

@@ -466,7 +466,15 @@ def default_base_config() -> CupConfig:
 
 
 class ScenarioRuntime:
-    """A scenario bound to one network: scheduled stressors + event log."""
+    """A scenario bound to one network: scheduled stressors + event log.
+
+    Every scheduled stressor transition is a *bound method* with plain
+    arguments — never a closure — and mid-phase state (installed rule
+    handles, degraded schedules, crash victims) lives in dicts keyed by
+    phase position.  That keeps the compiled runtime, and therefore the
+    whole network object graph, picklable: a checkpoint taken mid-phase
+    restores with its pending heal/restore/recover events intact.
+    """
 
     def __init__(self, scenario: Scenario, network: "CupNetwork"):
         self.scenario = scenario
@@ -475,6 +483,11 @@ class ScenarioRuntime:
         self.events: List[Tuple[float, str]] = []
         self._churn: Optional[ChurnSchedule] = None
         self._active_partitions: Dict[int, int] = {}
+        # Mid-phase stressor state, keyed by phase index (chaos uses the
+        # dedicated "chaos" token in _active_faults).
+        self._capacity_schedules: Dict[int, CapacityFaultSchedule] = {}
+        self._active_faults: Dict[Any, int] = {}
+        self._crash_victims: Dict[int, List[Any]] = {}
 
     # -- helpers -------------------------------------------------------
 
@@ -490,6 +503,9 @@ class ScenarioRuntime:
 
     def _compile(self) -> None:
         network = self.network
+        # Register on the network so a checkpoint carries the compiled
+        # scenario (and its narration log) across restore.
+        network.scenario_runtime = self
         start = network.config.query_start
         if self.scenario.chaos is not None:
             self._compile_chaos(
@@ -512,24 +528,24 @@ class ScenarioRuntime:
             elif isinstance(phase, Partition):
                 self._compile_partition(phase, index, t, end)
             elif isinstance(phase, CapacityFault):
-                self._compile_capacity(phase, t, end)
+                self._compile_capacity(phase, index, t, end)
             elif isinstance(phase, MessageLoss):
                 self._compile_faults(
-                    t, end, loss=phase.rate,
+                    index, t, end, loss=phase.rate,
                     label=f"message loss at {phase.rate:.0%}",
                 )
             elif isinstance(phase, DuplicateDelivery):
                 self._compile_faults(
-                    t, end, duplicate=phase.rate,
+                    index, t, end, duplicate=phase.rate,
                     label=f"duplicate delivery at {phase.rate:.0%}",
                 )
             elif isinstance(phase, DelayJitter):
                 self._compile_faults(
-                    t, end, jitter=phase.jitter,
+                    index, t, end, jitter=phase.jitter,
                     label=f"delay jitter up to {phase.jitter}s",
                 )
             elif isinstance(phase, NodeCrashRecover):
-                self._compile_crash_recover(phase, t, end)
+                self._compile_crash_recover(phase, index, t, end)
             elif isinstance(phase, FlashCrowd):
                 selector = FlashCrowdKeys(
                     selector, self._hot_key(phase.hot_key_index),
@@ -569,58 +585,62 @@ class ScenarioRuntime:
     def _compile_partition(
         self, phase: Partition, index: int, start: float, end: float
     ) -> None:
+        sim = self.network.sim
+        sim.schedule_at(start, self._partition_cut, index, phase.groups)
+        sim.schedule_at(end, self._partition_heal, index)
+
+    def _partition_cut(self, index: int, groups: int) -> None:
         network = self.network
+        members = sorted(network.live_node_ids(), key=str)
+        islands = [members[i::groups] for i in range(groups)]
+        rule_id = network.transport.partition(islands)
+        self._active_partitions[index] = rule_id
+        sizes = "/".join(str(len(island)) for island in islands)
+        self._log(f"partition cut into {groups} islands ({sizes})")
 
-        def cut() -> None:
-            members = sorted(network.live_node_ids(), key=str)
-            islands = [members[i::phase.groups] for i in range(phase.groups)]
-            rule_id = network.transport.partition(islands)
-            self._active_partitions[index] = rule_id
-            sizes = "/".join(str(len(island)) for island in islands)
-            self._log(f"partition cut into {phase.groups} islands ({sizes})")
-
-        def heal() -> None:
-            rule_id = self._active_partitions.pop(index, None)
-            if rule_id is not None:
-                network.transport.remove_drop_rule(rule_id)
-            self._log("partition healed")
-
-        network.sim.schedule_at(start, cut)
-        network.sim.schedule_at(end, heal)
+    def _partition_heal(self, index: int) -> None:
+        rule_id = self._active_partitions.pop(index, None)
+        if rule_id is not None:
+            self.network.transport.remove_drop_rule(rule_id)
+        self._log("partition healed")
 
     def _compile_capacity(
-        self, phase: CapacityFault, start: float, end: float
+        self, phase: CapacityFault, index: int, start: float, end: float
+    ) -> None:
+        sim = self.network.sim
+        sim.schedule_at(
+            start, self._capacity_degrade, index, phase.fraction, phase.reduced
+        )
+        sim.schedule_at(end, self._capacity_restore, index)
+
+    def _capacity_degrade(
+        self, index: int, fraction: float, reduced: float
     ) -> None:
         network = self.network
-        state: Dict[str, CapacityFaultSchedule] = {}
+        schedule = CapacityFaultSchedule(
+            network.sim,
+            network.live_node_ids(),
+            network.set_node_capacity,
+            fraction=fraction,
+            reduced=reduced,
+            rng=network.streams.get("scenario-faults"),
+        )
+        self._capacity_schedules[index] = schedule
+        schedule.degrade()
+        self._log(
+            f"capacity fault: {len(schedule.currently_degraded)} nodes "
+            f"at {reduced:.0%}"
+        )
 
-        def degrade() -> None:
-            schedule = CapacityFaultSchedule(
-                network.sim,
-                network.live_node_ids(),
-                network.set_node_capacity,
-                fraction=phase.fraction,
-                reduced=phase.reduced,
-                rng=network.streams.get("scenario-faults"),
-            )
-            state["schedule"] = schedule
-            schedule.degrade()
-            self._log(
-                f"capacity fault: {len(schedule.currently_degraded)} nodes "
-                f"at {phase.reduced:.0%}"
-            )
-
-        def restore() -> None:
-            schedule = state.pop("schedule", None)
-            if schedule is not None:
-                schedule.restore()
-                self._log("capacity restored")
-
-        network.sim.schedule_at(start, degrade)
-        network.sim.schedule_at(end, restore)
+    def _capacity_restore(self, index: int) -> None:
+        schedule = self._capacity_schedules.pop(index, None)
+        if schedule is not None:
+            schedule.restore()
+            self._log("capacity restored")
 
     def _compile_faults(
         self,
+        token: Any,
         start: float,
         end: float,
         loss: float = 0.0,
@@ -629,29 +649,33 @@ class ScenarioRuntime:
         label: str = "transport faults",
     ) -> None:
         """Install one LinkFaults rule for [start, end)."""
+        sim = self.network.sim
+        sim.schedule_at(
+            start, self._faults_install, token, loss, duplicate, jitter, label
+        )
+        sim.schedule_at(end, self._faults_remove, token, label)
+
+    def _faults_install(
+        self, token: Any, loss: float, duplicate: float, jitter: float,
+        label: str,
+    ) -> None:
         network = self.network
-        state: Dict[str, int] = {}
+        faults = LinkFaults(
+            network.streams.get("link-faults"),
+            loss=loss, duplicate=duplicate, jitter=jitter,
+        )
+        self._active_faults[token] = network.transport.add_link_faults(faults)
+        self._log(f"{label} begins")
 
-        def install() -> None:
-            faults = LinkFaults(
-                network.streams.get("link-faults"),
-                loss=loss, duplicate=duplicate, jitter=jitter,
-            )
-            state["rule"] = network.transport.add_link_faults(faults)
-            self._log(f"{label} begins")
-
-        def remove() -> None:
-            rule_id = state.pop("rule", None)
-            if rule_id is not None:
-                network.transport.remove_link_faults(rule_id)
-            self._log(f"{label} ends")
-
-        network.sim.schedule_at(start, install)
-        network.sim.schedule_at(end, remove)
+    def _faults_remove(self, token: Any, label: str) -> None:
+        rule_id = self._active_faults.pop(token, None)
+        if rule_id is not None:
+            self.network.transport.remove_link_faults(rule_id)
+        self._log(f"{label} ends")
 
     def _compile_chaos(self, chaos: ChaosSpec, start: float, end: float) -> None:
         self._compile_faults(
-            start, end,
+            "chaos", start, end,
             loss=chaos.loss, duplicate=chaos.duplicate, jitter=chaos.jitter,
             label=(
                 f"chaos overlay (loss={chaos.loss:.0%}, "
@@ -660,36 +684,35 @@ class ScenarioRuntime:
         )
 
     def _compile_crash_recover(
-        self, phase: NodeCrashRecover, start: float, end: float
+        self, phase: NodeCrashRecover, index: int, start: float, end: float
     ) -> None:
+        sim = self.network.sim
+        sim.schedule_at(start, self._crash, index, phase.count)
+        sim.schedule_at(end, self._recover, index)
+
+    def _crash(self, index: int, count: int) -> None:
         network = self.network
-        state: Dict[str, list] = {}
+        rng = network.streams.get("scenario-crashes")
+        candidates = sorted(network.live_node_ids(), key=str)
+        count = min(count, max(0, len(candidates) - 2))
+        picked = sorted(
+            rng.choice(len(candidates), size=count, replace=False).tolist()
+        )
+        victims = [candidates[i] for i in picked]
+        for node_id in victims:
+            network.crash_node(node_id)
+        self._crash_victims[index] = victims
+        self._log(f"crash: {victims} go dark")
 
-        def crash() -> None:
-            rng = network.streams.get("scenario-crashes")
-            candidates = sorted(network.live_node_ids(), key=str)
-            count = min(phase.count, max(0, len(candidates) - 2))
-            picked = sorted(
-                rng.choice(len(candidates), size=count, replace=False).tolist()
-            )
-            victims = [candidates[i] for i in picked]
-            for node_id in victims:
-                network.crash_node(node_id)
-            state["victims"] = victims
-            self._log(f"crash: {victims} go dark")
-
-        def recover() -> None:
-            recovered = []
-            for node_id in state.pop("victims", ()):
-                # A keep-alive monitor may have completed the failure as
-                # a departure in the meantime; only restart true corpses.
-                if node_id in network._crashed:
-                    network.recover_node(node_id)
-                    recovered.append(node_id)
-            self._log(f"recover: {recovered} restart")
-
-        network.sim.schedule_at(start, crash)
-        network.sim.schedule_at(end, recover)
+    def _recover(self, index: int) -> None:
+        recovered = []
+        for node_id in self._crash_victims.pop(index, ()):
+            # A keep-alive monitor may have completed the failure as
+            # a departure in the meantime; only restart true corpses.
+            if node_id in self.network._crashed:
+                self.network.recover_node(node_id)
+                recovered.append(node_id)
+        self._log(f"recover: {recovered} restart")
 
     # -- introspection -------------------------------------------------
 

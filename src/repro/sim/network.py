@@ -75,6 +75,26 @@ class LinkFaults:
         )
 
 
+class PartitionRule:
+    """Drop rule blocking sends whose endpoints sit in different islands.
+
+    A class rather than a closure so installed partitions survive the
+    pickle round-trip of a checkpoint.  Nodes in no island (mid-partition
+    joiners) communicate freely.
+    """
+
+    __slots__ = ("side",)
+
+    def __init__(self, side: Dict[NodeId, int]):
+        self.side = side
+
+    def __call__(self, src: NodeId, dst: NodeId, message: "Message") -> bool:
+        side = self.side
+        a = side.get(src)
+        b = side.get(dst)
+        return a is not None and b is not None and a != b
+
+
 class Message:
     """Base class for everything that travels over the transport.
 
@@ -340,12 +360,7 @@ class Transport:
                     )
                 side[node_id] = index
 
-        def crosses(src: NodeId, dst: NodeId, message: Message) -> bool:
-            a = side.get(src)
-            b = side.get(dst)
-            return a is not None and b is not None and a != b
-
-        return self.add_drop_rule(crosses)
+        return self.add_drop_rule(PartitionRule(side))
 
     # ------------------------------------------------------------------
     # Observation

@@ -101,26 +101,39 @@ class QueryWorkload:
         self._schedule_next(now)
 
 
-def uniform_node_selector(
-    members_fn: Callable[[], List[NodeId]], rng: np.random.Generator
-) -> NodeSelector:
+class UniformNodeSelector:
     """Uniform choice over current membership (re-read every arrival).
 
     Draws are buffered in blocks while the membership count is stable
     (bit-identical to scalar draws); a churn event that changes the count
-    starts a fresh buffer.
+    starts a fresh buffer.  A class rather than a closure so the
+    selector — and the workload holding it — pickles into checkpoints,
+    with the buffer position carried along.
     """
-    from repro.sim.random import BufferedIntegers
 
-    state: dict = {"buf": None}
+    __slots__ = ("_members_fn", "_rng", "_buf")
 
-    def select(now: float) -> NodeId:
-        members = members_fn()
+    def __init__(
+        self, members_fn: Callable[[], List[NodeId]], rng: np.random.Generator
+    ):
+        self._members_fn = members_fn
+        self._rng = rng
+        self._buf = None
+
+    def __call__(self, now: float) -> NodeId:
+        members = self._members_fn()
         if not members:
             raise RuntimeError("no live nodes to post a query at")
-        buf = state["buf"]
+        buf = self._buf
         if buf is None or buf.bound != len(members):
-            buf = state["buf"] = BufferedIntegers(rng, len(members))
+            from repro.sim.random import BufferedIntegers
+
+            buf = self._buf = BufferedIntegers(self._rng, len(members))
         return members[buf.next()]
 
-    return select
+
+def uniform_node_selector(
+    members_fn: Callable[[], List[NodeId]], rng: np.random.Generator
+) -> NodeSelector:
+    """Constructor alias kept for callers predating the class form."""
+    return UniformNodeSelector(members_fn, rng)
