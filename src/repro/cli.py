@@ -12,6 +12,10 @@ Usage::
     python -m repro scenarios list
     python -m repro scenarios run perfect-storm [--seed N] [--no-invariants]
     python -m repro chaos flash-crowd --loss 0.2 --duplicate 0.1 --jitter 0.1
+    python -m repro node serve --port 9400
+    python -m repro node join 127.0.0.1:9400
+    python -m repro node put somekey replica-1 --node 127.0.0.1:9400
+    python -m repro node get somekey --node 127.0.0.1:9401
 
 Each experiment prints its table (mirroring the paper's layout) followed
 by a PASS/FAIL checklist of the paper's qualitative shape claims.
@@ -156,9 +160,9 @@ def _run_macro(args: argparse.Namespace) -> int:
             every_events=args.checkpoint_every_events,
             every_seconds=args.checkpoint_every_seconds,
         )
-    started = time.time()
+    started = time.monotonic()
     summary = net.run()
-    elapsed = time.time() - started
+    elapsed = time.monotonic() - started
     print(
         f"miss cost {summary.miss_cost}  overhead "
         f"{summary.overhead_cost}  total {summary.total_cost}  "
@@ -202,9 +206,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     status = 0
     for name in names:
         _, runner = EXPERIMENTS[name]
-        started = time.time()
+        started = time.monotonic()
         result = runner(scale, args.seed)
-        elapsed = time.time() - started
+        elapsed = time.monotonic() - started
         print(result.report())
         print(f"({name} completed in {elapsed:.1f}s at scale={scale.name})\n")
         if not result.all_expectations_hold():
@@ -269,17 +273,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     status = 0
     for name in names:
         _, runner = EXPERIMENTS[name]
-        started = time.time()
+        started = time.monotonic()
         try:
             result = runner(scale, args.seed)
         except executor.SweepError as err:
-            elapsed = time.time() - started
+            elapsed = time.monotonic() - started
             print(f"{name} FAILED after {elapsed:.1f}s: {err}")
             for label, reason in err.failures.items():
                 print(f"  {label!r}: {reason}")
             status = 1
             continue
-        elapsed = time.time() - started
+        elapsed = time.monotonic() - started
         print(result.report())
         print(f"({name} completed in {elapsed:.1f}s at scale={scale.name})\n")
         if not result.all_expectations_hold():
@@ -408,7 +412,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     status = 0
     convergence = getattr(args, "convergence", False)
     for name in names:
-        started = time.time()
+        started = time.monotonic()
         try:
             result = run_scenario(
                 SCENARIOS[name],
@@ -423,7 +427,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
             print(f"scenario {name!r} FAILED: {violation}")
             status = 1
             continue
-        elapsed = time.time() - started
+        elapsed = time.monotonic() - started
         print(result.report())
         print(f"({name} completed in {elapsed:.1f}s)\n")
         if not args.no_invariants and not result.ok:
@@ -454,19 +458,94 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             SCENARIOS[name],
             loss=args.loss, duplicate=args.duplicate, jitter=args.jitter,
         )
-        started = time.time()
+        started = time.monotonic()
         result = run_scenario(
             chaotic,
             seed=args.seed,
             raise_on_violation=False,
             convergence=True,
         )
-        elapsed = time.time() - started
+        elapsed = time.monotonic() - started
         print(result.report())
         print(f"({chaotic.name} completed in {elapsed:.1f}s)\n")
         if not result.ok:
             status = 1
     return status
+
+
+def _node_config_from_args(args, joining: bool):
+    from repro.net.daemon import LiveNodeConfig
+
+    peers = tuple(args.peers) if joining else ()
+    return LiveNodeConfig(
+        host=args.host,
+        port=args.port,
+        node_id=args.node_id,
+        peers=peers,
+        mode=args.mode,
+        policy=args.policy,
+        pfu_timeout=args.pfu_timeout,
+        keepalive_period=args.keepalive_period,
+        keepalive_misses=args.keepalive_misses,
+        codec=args.codec,
+        invariants=not args.no_invariants,
+        recovery=not args.no_recovery,
+        quiet=args.quiet,
+    )
+
+
+def _cmd_node_serve(args) -> int:
+    from repro.net.daemon import serve
+
+    return serve(_node_config_from_args(args, joining=False))
+
+
+def _cmd_node_join(args) -> int:
+    from repro.net.daemon import serve
+
+    return serve(_node_config_from_args(args, joining=True))
+
+
+def _node_request(args, call) -> int:
+    """Run one client call against ``args.node``; print the reply."""
+    from repro.net.client import NodeClient
+    from repro.net.wire import WireError
+
+    try:
+        with NodeClient(args.node, timeout=args.timeout) as client:
+            reply = call(client)
+    except (OSError, WireError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    if reply.get("t") == "error" or reply.get("ok") is False:
+        return 1
+    return 0
+
+
+def _cmd_node_put(args) -> int:
+    return _node_request(args, lambda client: client.put(
+        args.key, args.replica_id, address=args.address,
+        lifetime=args.lifetime, event=args.event,
+    ))
+
+
+def _cmd_node_get(args) -> int:
+    return _node_request(
+        args, lambda client: client.get(args.key, timeout=args.wait)
+    )
+
+
+def _cmd_node_info(args) -> int:
+    return _node_request(args, lambda client: client.info())
+
+
+def _cmd_node_audit(args) -> int:
+    return _node_request(args, lambda client: client.audit())
+
+
+def _cmd_node_stop(args) -> int:
+    return _node_request(args, lambda client: client.stop())
 
 
 def _positive_int(text: str) -> int:
@@ -675,6 +754,127 @@ def build_parser() -> argparse.ArgumentParser:
         help="max extra per-send delay (default 0.1)",
     )
     chaos_parser.set_defaults(fn=_cmd_chaos)
+
+    node_parser = sub.add_parser(
+        "node",
+        help="live CUP node daemon and its client (serve/join/put/get)",
+    )
+    node_sub = node_parser.add_subparsers(dest="node_command", required=True)
+
+    def _add_serve_args(p, joining: bool):
+        p.add_argument(
+            "--host", default="127.0.0.1",
+            help="listen address (default 127.0.0.1)",
+        )
+        p.add_argument(
+            "--port", type=int, default=0 if joining else 9400,
+            help="listen port (default %(default)s; 0 = pick a free port)",
+        )
+        p.add_argument(
+            "--node-id", default=None, metavar="HOST:PORT",
+            help="cluster identity; defaults to the bound host:port and "
+                 "must stay dialable (ids double as addresses)",
+        )
+        p.add_argument(
+            "--mode", default="cup", choices=["cup", "standard"],
+            help="CUP propagation or standard pull-through caching",
+        )
+        p.add_argument(
+            "--policy", default="second-chance", metavar="POLICY",
+            help="cut-off policy spec (default second-chance)",
+        )
+        p.add_argument("--pfu-timeout", type=float, default=3.0,
+                       metavar="S", help="pending-first-update timeout")
+        p.add_argument("--keepalive-period", type=float, default=2.0,
+                       metavar="S", help="heartbeat period (default 2s)")
+        p.add_argument(
+            "--keepalive-misses", type=_positive_int, default=3,
+            metavar="N", help="silent periods before suspecting a peer",
+        )
+        p.add_argument(
+            "--codec", default="json", metavar="NAME",
+            help="wire codec: json (always) or msgpack (if installed)",
+        )
+        p.add_argument(
+            "--no-invariants", action="store_true",
+            help="run without the attached invariant checker",
+        )
+        p.add_argument(
+            "--no-recovery", action="store_true",
+            help="disable gap-detection/NACK recovery",
+        )
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress membership/lifecycle logging")
+
+    node_serve = node_sub.add_parser(
+        "serve", help="found a cluster: listen and host a CUP node"
+    )
+    _add_serve_args(node_serve, joining=False)
+    node_serve.set_defaults(fn=_cmd_node_serve)
+
+    node_join = node_sub.add_parser(
+        "join", help="serve, then join an existing cluster via seed peers"
+    )
+    _add_serve_args(node_join, joining=True)
+    node_join.add_argument(
+        "peers", nargs="+", metavar="HOST:PORT",
+        help="one or more existing members to join through",
+    )
+    node_join.set_defaults(fn=_cmd_node_join)
+
+    def _add_client_args(p):
+        p.add_argument(
+            "--node", default="127.0.0.1:9400", metavar="HOST:PORT",
+            help="daemon to talk to (default 127.0.0.1:9400)",
+        )
+        p.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                       help="socket timeout (default 10s)")
+
+    node_put = node_sub.add_parser(
+        "put", help="announce a replica birth/refresh for a key"
+    )
+    _add_client_args(node_put)
+    node_put.add_argument("key")
+    node_put.add_argument("replica_id")
+    node_put.add_argument("--address", default="",
+                          help="content address the replica serves")
+    node_put.add_argument("--lifetime", type=float, default=300.0,
+                          metavar="S", help="entry lifetime (default 300s)")
+    node_put.add_argument(
+        "--event", default="birth", choices=["birth", "refresh", "death"],
+        help="replica control event (default birth)",
+    )
+    node_put.set_defaults(fn=_cmd_node_put)
+
+    node_get = node_sub.add_parser(
+        "get", help="query a key through the CUP machinery"
+    )
+    _add_client_args(node_get)
+    node_get.add_argument("key")
+    node_get.add_argument(
+        "--wait", type=float, default=5.0, metavar="S",
+        help="how long the daemon may wait for fresh entries (default 5s)",
+    )
+    node_get.set_defaults(fn=_cmd_node_get)
+
+    node_info = node_sub.add_parser(
+        "info", help="membership, transport counters, recovery report"
+    )
+    _add_client_args(node_info)
+    node_info.set_defaults(fn=_cmd_node_info)
+
+    node_audit = node_sub.add_parser(
+        "audit", help="run the invariant checker's quiescence audit"
+    )
+    _add_client_args(node_audit)
+    node_audit.set_defaults(fn=_cmd_node_audit)
+
+    node_stop = node_sub.add_parser(
+        "stop", help="ask a daemon to leave the cluster and exit"
+    )
+    _add_client_args(node_stop)
+    node_stop.set_defaults(fn=_cmd_node_stop)
+
     return parser
 
 

@@ -513,6 +513,10 @@ class CupNode:
         # responses always flow, whatever the maintenance plane does.
         if state.pending_first_update and state.has_fresh(now):
             state.pending_first_update = False
+            if recovery is not None:
+                # A maintenance update doubling as the response also
+                # satisfies a degraded pull for this key.
+                recovery.note_refreshed(key)
             self._answer_local_waiters(state)
             starved = state.waiting.difference(delivered)
             starved.discard(sender)
@@ -574,6 +578,10 @@ class CupNode:
             # a response toward the node that issued the query.
             self.metrics.justified_updates += 1
         state.pending_first_update = False
+        if self.recovery is not None and update.entries:
+            # The degraded pull is answered: the key re-earns full
+            # convergence scrutiny.
+            self.recovery.note_refreshed(state.key)
         if state.designated_replica is None and update.entries:
             # Designate the cut-off trigger replica (§3.6) from the first
             # response; min() keeps the choice order-independent.

@@ -298,6 +298,23 @@ class RecoveryManager:
             metrics.degraded_reads += 1
         self._request_pull(key)
 
+    def note_refreshed(self, key: str) -> None:
+        """A fresh response landed for ``key``: lift its degraded mark.
+
+        The mark exists to excuse staleness *while the pull is in
+        flight*; once the re-query's response (or a maintenance update
+        answering the pending flag) refills the cache, the key is a
+        first-class subscriber again and the convergence audit must hold
+        it to the normal standard.  Leaving the mark in place forever
+        would excuse any later silent staleness — exactly the failure
+        mode the audit exists to catch.
+        """
+        if key in self.degraded_keys:
+            self.degraded_keys.discard(key)
+            metrics = self._metrics
+            if metrics is not None:
+                metrics.degraded_repromotions += 1
+
     def prune_peers(self, alive) -> None:
         """React to membership change: drop state toward departed peers.
 

@@ -558,17 +558,22 @@ class InvariantChecker:
         accounted = transport.delivered + transport.dropped + transport.blocked
         # Fault injection shifts the conservation identity: a duplicated
         # send is accounted twice without a second `sent`, and a lost
-        # send is charged but never accounted.
+        # send is charged but never accounted.  A live transport sees
+        # only its own process's half of the cluster traffic, so frames
+        # that arrived off the wire (charged as `sent` by the remote
+        # sender) are offered through its `received` counter — absent on
+        # simulator transports, where every send is already local.
         offered = (
             transport.sent + transport.sent_direct
             + transport.duplicated - transport.lost
+            + getattr(transport, "received", 0)
         )
         if accounted > offered:
             self._violate(
                 "cost-balance",
                 f"transport accounted for {accounted} messages but only "
                 f"{offered} were offered (sent + direct + duplicated "
-                "- lost)",
+                "- lost + received)",
             )
 
     # -- loss freedom ---------------------------------------------------

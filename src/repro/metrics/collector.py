@@ -70,6 +70,7 @@ class MetricsCollector:
         self.recovery_retries = 0
         self.recovered_updates = 0
         self.degraded_reads = 0
+        self.degraded_repromotions = 0
         self.duplicates_suppressed = 0
         # --- latency (seconds, extension beyond the paper's hop metric)
         self.answer_delay_total = 0.0
@@ -134,6 +135,7 @@ class MetricsCollector:
             "recovery_retries": self.recovery_retries,
             "recovered_updates": self.recovered_updates,
             "degraded_reads": self.degraded_reads,
+            "degraded_repromotions": self.degraded_repromotions,
             "duplicates_suppressed": self.duplicates_suppressed,
         }
 

@@ -1,0 +1,91 @@
+"""Synchronous client for a live CUP node.
+
+The CLI's ``repro node put|get|info|audit|stop`` subcommands talk to a
+running daemon through this class.  It is plain blocking sockets on
+purpose — a client makes one request at a time, so an event loop would
+be ceremony — but it speaks exactly the same frames as the daemon's
+peers: :func:`~repro.net.wire.encode_frame` out,
+:class:`~repro.net.wire.FrameDecoder` in.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional, Tuple
+
+from repro.net.wire import FrameDecoder, WireError, encode_frame
+
+_READ_CHUNK = 1 << 16
+
+
+def parse_address(address: str, default_port: int = 9400) -> Tuple[str, int]:
+    """``"host:port"`` / ``"host"`` / ``":port"`` -> ``(host, port)``."""
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        return address or "127.0.0.1", default_port
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise ValueError(f"invalid node address {address!r}") from None
+
+
+class NodeClient:
+    """One connection to one daemon; usable as a context manager."""
+
+    def __init__(self, address: str, timeout: float = 10.0,
+                 codec: str = "json"):
+        host, port = parse_address(address)
+        self.address = f"{host}:{port}"
+        self._codec = codec
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._decoder = FrameDecoder()
+
+    def __enter__(self) -> "NodeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close races are benign
+            pass
+
+    def request(self, frame: dict) -> dict:
+        """Send one request frame; block for the single response frame."""
+        self._sock.sendall(encode_frame(frame, self._codec))
+        while True:
+            data = self._sock.recv(_READ_CHUNK)
+            if not data:
+                raise WireError(
+                    f"node {self.address} closed the connection "
+                    f"before responding"
+                )
+            frames = self._decoder.feed(data)
+            if frames:
+                return frames[0]
+
+    # Convenience wrappers ------------------------------------------------
+
+    def put(self, key: str, replica_id: str, address: str = "",
+            lifetime: float = 300.0, event: str = "birth") -> dict:
+        return self.request({
+            "t": "put", "key": key, "replica_id": replica_id,
+            "address": address, "lifetime": lifetime, "event": event,
+        })
+
+    def get(self, key: str, timeout: Optional[float] = None) -> dict:
+        frame = {"t": "get", "key": key}
+        if timeout is not None:
+            frame["timeout"] = timeout
+        return self.request(frame)
+
+    def info(self) -> dict:
+        return self.request({"t": "info"})
+
+    def audit(self) -> dict:
+        return self.request({"t": "audit"})
+
+    def stop(self) -> dict:
+        return self.request({"t": "stop"})

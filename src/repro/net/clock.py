@@ -1,0 +1,69 @@
+"""Wall-clock time and asyncio timers behind the simulator's clock seam.
+
+Core protocol code reads ``sim.now`` and calls ``sim.schedule(delay, fn,
+*args)``; nothing else.  :class:`LiveClock` satisfies exactly that
+surface over a running asyncio event loop, so
+:class:`~repro.core.node.CupNode`,
+:class:`~repro.core.recovery.RecoveryManager`,
+:class:`~repro.core.keepalive.KeepAliveMonitor` and
+:class:`~repro.sim.process.PeriodicProcess` run unmodified in a live
+daemon.
+
+Two clocks, deliberately:
+
+* ``now`` is **wall time** (``time.time()``): index-entry lifetimes and
+  update expiries must mean the same instant on every node of a
+  cluster, and wall clocks are the only thing distinct hosts share.
+* ``schedule`` rides the loop's **monotonic** clock
+  (``loop.call_later``): relative timers — keep-alive periods, NACK
+  backoff — must not stretch or fire early when NTP steps the wall
+  clock.
+
+The gap between the two is visible only to code that computes an
+absolute deadline from ``now`` and then measures it with a timer; CUP's
+core does neither (deadlines are compared against ``now``, timers are
+always relative).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+
+class LiveClock:
+    """The :class:`~repro.sim.engine.Simulator` clock surface, live.
+
+    ``schedule`` returns the loop's :class:`asyncio.TimerHandle`, whose
+    ``cancel()`` matches the simulator Event's — the only method core
+    timer users call on a handle.
+    """
+
+    __slots__ = ("_loop",)
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None):
+        self._loop = loop
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        loop = self._loop
+        if loop is None:
+            loop = self._loop = asyncio.get_event_loop()
+        return loop
+
+    @property
+    def now(self) -> float:
+        return time.time()
+
+    def schedule(self, delay: float, fn, *args) -> asyncio.TimerHandle:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.loop.call_later(delay, fn, *args)
+
+    def call_soon(self, fn, *args) -> asyncio.Handle:
+        """Run ``fn(*args)`` on the next loop iteration."""
+        return self.loop.call_soon(fn, *args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LiveClock(now={self.now:.3f})"

@@ -1,0 +1,712 @@
+"""The live CUP node: an asyncio daemon over the shared protocol core.
+
+One :class:`LiveNode` process hosts exactly one
+:class:`~repro.core.node.CupNode` — constructed with the *same* classes
+the simulator uses (cache, policies, recovery, keep-alive, channels) on
+top of :class:`~repro.net.clock.LiveClock` and
+:class:`~repro.net.transport.LiveTransport`.  Nothing in ``core/`` knows
+whether it is being simulated.
+
+Cluster mechanics
+-----------------
+
+* **Identity.**  A node's id *is* its dialable listen address
+  (``"host:port"``), so the membership set doubles as the address book
+  and :class:`~repro.overlay.chord.ChordOverlay` — which accepts any
+  hashable id — hashes it onto the ring.  Every member derives the same
+  ring from the same membership, so routing agrees cluster-wide without
+  a coordination protocol.
+
+* **Join.**  A newcomer dials any seed member and sends ``hello``; the
+  seed replies ``welcome`` (the full member list) and broadcasts
+  ``joined`` to everyone else.  The newcomer then dials every member it
+  learned of.  Established members never dial newcomers eagerly — but
+  any send toward a member without a connection triggers a background
+  heal dial, so the mesh self-repairs (the frame that triggered the
+  heal is dropped and counted, exactly like a simulator send to a
+  departed node; CUP's PFU timeout and recovery NACKs take it from
+  there).
+
+* **Leave / failure.**  Graceful shutdown broadcasts ``leaving``.
+  Silent death is caught by the same
+  :class:`~repro.core.keepalive.KeepAliveMonitor` the simulator uses:
+  heartbeats ride the live transport, any received traffic proves life,
+  and a suspicion removes the member locally — the overlay absorbs its
+  arc and interest bits are patched (§2.9).
+
+* **Clients.**  A connection whose first frame is not ``hello`` is a
+  client session: ``put`` routes a replica birth/refresh to the key's
+  authority, ``get`` posts a local query and awaits the CUP response
+  machinery, ``audit`` runs the attached invariant checker's quiescence
+  sweep, ``info`` and ``stop`` do what they say.
+
+The invariant checker attaches to the live stack through
+:class:`LocalNetworkView` — the one-node "network" this process can
+see — with ``churn``/``crash`` hazards declared (peers come and go),
+so every structural, monotonicity and cost-balance check runs against
+real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import sys
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.keepalive import KeepAliveMonitor
+from repro.core.messages import ReplicaEvent, ReplicaMessage
+from repro.core.node import CupNode
+from repro.core.policies import make_policy
+from repro.core.recovery import RecoveryConfig
+from repro.metrics.collector import MetricsCollector
+from repro.net.clock import LiveClock
+from repro.net.transport import LiveTransport
+from repro.net.wire import (
+    FrameDecoder,
+    WireError,
+    encode_frame,
+    entry_to_wire,
+    message_from_wire,
+    message_to_wire,
+    resolve_codec,
+)
+from repro.overlay.chord import ChordOverlay
+from repro.sim.process import PeriodicProcess
+
+_READ_CHUNK = 1 << 16
+
+
+@dataclasses.dataclass(frozen=True)
+class LiveNodeConfig:
+    """Everything a live node needs to serve.
+
+    ``node_id`` defaults to ``"host:port"`` once the listener is bound
+    (so ``port=0`` — pick a free port — works); when overridden it must
+    still be a dialable ``host:port`` string, because peers use member
+    ids as addresses.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 9400
+    node_id: Optional[str] = None
+    #: Seed member addresses to join through (empty = found a cluster).
+    peers: Tuple[str, ...] = ()
+    mode: str = "cup"  # "cup" | "standard"
+    policy: str = "second-chance"
+    pfu_timeout: float = 3.0
+    keepalive_period: float = 2.0
+    keepalive_misses: int = 3
+    #: Garbage-collect expired cache state this often (0 disables).
+    gc_interval: float = 60.0
+    overlay_bits: int = 32
+    codec: str = "json"
+    invariants: bool = True
+    #: Run the unreliable-transport recovery layer.  TCP is reliable
+    #: per-connection, but frames sent while a link is still dialing are
+    #: dropped — gap detection + NACK recovers them.
+    recovery: bool = True
+    join_timeout: float = 10.0
+    quiet: bool = False
+
+    def __post_init__(self):
+        if self.mode not in ("cup", "standard"):
+            raise ValueError(f"mode must be 'cup' or 'standard', got "
+                             f"{self.mode!r}")
+        resolve_codec(self.codec)  # fail fast on unavailable codecs
+
+
+class LocalNetworkView:
+    """The 'network' surface the invariant checker reads, one node wide.
+
+    :class:`~repro.invariants.checker.InvariantChecker` consumes
+    ``network.sim.now``, ``network.nodes``, ``network.overlay``,
+    ``network.metrics`` and ``network.transport``; this adapter lends a
+    daemon those attributes so the checker runs unmodified against live
+    sockets.
+    """
+
+    def __init__(self, daemon: "LiveNode"):
+        self._daemon = daemon
+
+    @property
+    def sim(self):
+        return self._daemon.clock
+
+    @property
+    def nodes(self):
+        node = self._daemon.node
+        return {} if node is None else {self._daemon.node_id: node}
+
+    @property
+    def overlay(self):
+        return self._daemon.overlay
+
+    @property
+    def metrics(self):
+        return self._daemon.metrics
+
+    @property
+    def transport(self):
+        return self._daemon.transport
+
+
+class _PeerLink:
+    """One live connection to a peer, with an ordered outbound queue."""
+
+    __slots__ = (
+        "peer_id", "writer", "outbox", "writer_task", "reader_task",
+        "welcomed", "codec",
+    )
+
+    def __init__(self, peer_id: str, writer: asyncio.StreamWriter,
+                 codec: str):
+        self.peer_id = peer_id
+        self.writer = writer
+        self.codec = codec
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self.writer_task: Optional[asyncio.Task] = None
+        self.reader_task: Optional[asyncio.Task] = None
+        self.welcomed = asyncio.Event()
+
+    def send_json(self, obj: dict) -> None:
+        self.outbox.put_nowait(encode_frame(obj, self.codec))
+
+    async def drain_outbox(self) -> None:
+        writer = self.writer
+        while True:
+            frame = await self.outbox.get()
+            writer.write(frame)
+            await writer.drain()
+
+    def close(self) -> None:
+        if self.writer_task is not None:
+            self.writer_task.cancel()
+        with contextlib.suppress(Exception):
+            self.writer.close()
+
+
+class LiveNode:
+    """One daemon: listener, peer mesh, and the hosted CupNode."""
+
+    def __init__(self, config: LiveNodeConfig):
+        self.config = config
+        self.node_id: Optional[str] = None
+        self.clock: Optional[LiveClock] = None
+        self.metrics = MetricsCollector()
+        self.overlay = ChordOverlay(bits=config.overlay_bits)
+        self.transport: Optional[LiveTransport] = None
+        self.node: Optional[CupNode] = None
+        self.checker = None
+        self.keepalive: Optional[KeepAliveMonitor] = None
+        self.members: Set[str] = set()
+        self._conns: Dict[str, _PeerLink] = {}
+        self._dialing: Dict[str, asyncio.Task] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._gc_process: Optional[PeriodicProcess] = None
+        self._stopped = asyncio.Event()
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Router interface (consumed by LiveTransport)
+    # ------------------------------------------------------------------
+
+    def is_peer(self, node_id) -> bool:
+        return node_id in self.members
+
+    def call_soon(self, fn, *args) -> None:
+        self.clock.call_soon(fn, *args)
+
+    def send_wire(self, src, dst, message, direct: bool) -> bool:
+        link = self._conns.get(dst)
+        if link is None:
+            if dst in self.members and not self._stopping:
+                # Heal in the background; this frame is dropped (the
+                # caller counts it) and the protocol's own retry
+                # machinery re-covers the loss.
+                self._ensure_link(dst)
+            return False
+        link.send_json({
+            "t": "direct" if direct else "msg",
+            "src": src,
+            "m": message_to_wire(message),
+        })
+        return True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        config = self.config
+        loop = asyncio.get_running_loop()
+        self.clock = LiveClock(loop)
+        self.transport = LiveTransport(self.clock, router=self)
+        self.transport.attach_metrics(self.metrics)
+        self._server = await asyncio.start_server(
+            self._on_connection, config.host, config.port
+        )
+        port = self._server.sockets[0].getsockname()[1]
+        self.node_id = config.node_id or f"{config.host}:{port}"
+        self.members.add(self.node_id)
+        self.overlay.join(self.node_id)
+        is_cup = config.mode == "cup"
+        self.node = CupNode(
+            node_id=self.node_id,
+            sim=self.clock,
+            transport=self.transport,
+            overlay=self.overlay,
+            policy=make_policy(config.policy),
+            metrics=self.metrics,
+            persistent_interest=is_cup,
+            coalesce=is_cup,
+            pfu_timeout=config.pfu_timeout,
+            recovery_config=RecoveryConfig() if config.recovery else None,
+        )
+        self.transport.register(self.node_id, self.node)
+        if config.invariants:
+            from repro.invariants.checker import InvariantChecker
+
+            self.checker = InvariantChecker(
+                LocalNetworkView(self),
+                hazards=("churn", "crash"),
+                raise_immediately=False,
+            )
+            self.transport.add_send_observer(self.checker.on_send)
+            self.node.invariant_probe = self.checker
+        self.keepalive = KeepAliveMonitor(
+            self.clock, self.transport, self.node_id,
+            neighbors_fn=self._keepalive_targets,
+            period=config.keepalive_period,
+            miss_threshold=config.keepalive_misses,
+            on_suspect=self._on_suspect,
+        )
+        self.node.keepalive_monitor = self.keepalive
+        self.keepalive.start()
+        if config.gc_interval > 0:
+            self._gc_process = PeriodicProcess(
+                self.clock, config.gc_interval, self.node.gc
+            )
+        self._log(f"serving as {self.node_id} "
+                  f"(mode={config.mode}, policy={config.policy})")
+        for seed in config.peers:
+            await self._join_via(seed)
+
+    async def _join_via(self, seed: str) -> None:
+        if seed == self.node_id:
+            return
+        link = await self._ensure_link(seed)
+        if link is None:
+            raise ConnectionError(f"could not reach seed member {seed}")
+        try:
+            await asyncio.wait_for(
+                link.welcomed.wait(), timeout=self.config.join_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ConnectionError(
+                f"seed member {seed} sent no welcome within "
+                f"{self.config.join_timeout}s"
+            ) from None
+        self._log(f"joined via {seed}; members={sorted(self.members)}")
+
+    async def serve_forever(self) -> None:
+        await self._stopped.wait()
+
+    def request_stop(self) -> None:
+        """Begin a graceful shutdown (idempotent, callable from signals)."""
+        if self._stopping:
+            return
+        self._stopping = True
+        asyncio.ensure_future(self._shutdown())
+
+    async def _shutdown(self) -> None:
+        self._log("leaving the cluster")
+        if self.keepalive is not None:
+            self.keepalive.stop()
+        if self._gc_process is not None:
+            self._gc_process.stop()
+        for link in list(self._conns.values()):
+            link.send_json({"t": "leaving", "id": self.node_id})
+        # One breath for the leaving frames to flush through the queues.
+        await asyncio.sleep(0.05)
+        for task in list(self._dialing.values()):
+            task.cancel()
+        for link in list(self._conns.values()):
+            if link.reader_task is not None:
+                link.reader_task.cancel()
+            link.close()
+        self._conns.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def _keepalive_targets(self):
+        return self.overlay.neighbors(self.node_id)
+
+    def _add_member(self, member: str) -> bool:
+        if member in self.members:
+            return False
+        self.members.add(member)
+        self.overlay.join(member)
+        if self.checker is not None:
+            self.checker.on_membership_change("join", member)
+        return True
+
+    def _remove_member(self, member: str, reason: str) -> None:
+        if member == self.node_id or member not in self.members:
+            return
+        self.members.discard(member)
+        self.overlay.leave(member)
+        self.node.patch_after_churn(self.members)
+        if self.checker is not None:
+            self.checker.on_membership_change(reason, member)
+        link = self._conns.pop(member, None)
+        if link is not None:
+            if link.reader_task is not None:
+                link.reader_task.cancel()
+            link.close()
+        self._log(f"member {member} removed ({reason}); "
+                  f"members={sorted(self.members)}")
+
+    def _on_suspect(self, _reporter, suspect) -> None:
+        self._remove_member(suspect, "crash")
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def _ensure_link(self, peer_id: str):
+        """A live link to ``peer_id`` — existing, or a background dial.
+
+        Returns the link when one is already up; otherwise returns the
+        (possibly fresh) dial task's eventual link via ``await``, or
+        ``None`` synchronously for fire-and-forget callers.
+        """
+        link = self._conns.get(peer_id)
+        if link is not None:
+            return _immediate(link)
+        task = self._dialing.get(peer_id)
+        if task is None:
+            task = asyncio.ensure_future(self._dial(peer_id))
+            self._dialing[peer_id] = task
+            task.add_done_callback(
+                lambda _t: self._dialing.pop(peer_id, None)
+            )
+        return task
+
+    async def _dial(self, peer_id: str):
+        host, _, port = peer_id.rpartition(":")
+        try:
+            reader, writer = await asyncio.open_connection(host, int(port))
+        except (OSError, ValueError) as exc:
+            self._log(f"dial {peer_id} failed: {exc}")
+            return None
+        link = _PeerLink(peer_id, writer, self.config.codec)
+        self._register_link(link)
+        link.send_json({"t": "hello", "id": self.node_id})
+        link.reader_task = asyncio.ensure_future(
+            self._peer_read_loop(link, reader)
+        )
+        return link
+
+    def _register_link(self, link: _PeerLink) -> None:
+        # Simultaneous dials can race a second connection into place;
+        # the newest wins the registry and the older one drains until
+        # its EOF (frames on either are delivered — TCP order holds per
+        # connection, and the recovery layer absorbs cross-connection
+        # reordering like any other transport anomaly).
+        self._conns[link.peer_id] = link
+        link.writer_task = asyncio.ensure_future(link.drain_outbox())
+
+    def _link_closed(self, link: _PeerLink) -> None:
+        link.close()
+        if self._conns.get(link.peer_id) is link:
+            del self._conns[link.peer_id]
+
+    async def _peer_read_loop(self, link: _PeerLink,
+                              reader: asyncio.StreamReader) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    self._process_peer_frame(link, frame)
+        except WireError as exc:
+            self._log(f"dropping corrupt link to {link.peer_id}: {exc}")
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._link_closed(link)
+
+    def _process_peer_frame(self, link: _PeerLink, frame: dict) -> None:
+        t = frame.get("t")
+        if t == "msg" or t == "direct":
+            self.transport.deliver_wire(
+                frame.get("src"), self.node_id,
+                message_from_wire(frame["m"]),
+            )
+        elif t == "welcome":
+            for member in frame.get("members", ()):
+                if not isinstance(member, str) or member == self.node_id:
+                    continue
+                self._add_member(member)
+                if member not in self._conns and member not in self._dialing:
+                    self._ensure_link(member)
+            link.welcomed.set()
+        elif t == "joined":
+            member = frame.get("id")
+            if isinstance(member, str):
+                self._add_member(member)
+        elif t == "leaving":
+            member = frame.get("id")
+            if isinstance(member, str):
+                self._remove_member(member, "leave")
+        elif t == "hello":
+            # A re-hello on an established link: answer with the current
+            # member list (harmless, keeps the handshake idempotent).
+            self._welcome(link, frame)
+        else:
+            raise WireError(f"unknown peer frame type {t!r}")
+
+    def _welcome(self, link: _PeerLink, hello: dict) -> None:
+        peer_id = hello.get("id")
+        if not isinstance(peer_id, str) or not peer_id:
+            raise WireError(f"hello frame without a valid id: {hello!r}")
+        fresh = self._add_member(peer_id)
+        link.send_json({
+            "t": "welcome",
+            "id": self.node_id,
+            "members": sorted(self.members),
+        })
+        if fresh:
+            for other_id, other in list(self._conns.items()):
+                if other_id != peer_id:
+                    other.send_json({"t": "joined", "id": peer_id})
+            self._log(f"member {peer_id} joined; "
+                      f"members={sorted(self.members)}")
+
+    # ------------------------------------------------------------------
+    # Inbound connections (peers and clients share the listener)
+    # ------------------------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        decoder = FrameDecoder()
+        link: Optional[_PeerLink] = None
+        stop_after = False
+        try:
+            while not stop_after:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    if link is not None:
+                        self._process_peer_frame(link, frame)
+                    elif frame.get("t") == "hello":
+                        peer_id = frame.get("id")
+                        if not isinstance(peer_id, str) or not peer_id:
+                            raise WireError(
+                                f"hello frame without a valid id: {frame!r}"
+                            )
+                        link = _PeerLink(peer_id, writer, self.config.codec)
+                        self._register_link(link)
+                        self._welcome(link, frame)
+                    else:
+                        stop_after = await self._handle_client_frame(
+                            frame, writer
+                        )
+                        if stop_after:
+                            break
+        except WireError as exc:
+            self._log(f"dropping corrupt connection: {exc}")
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if link is not None:
+                self._link_closed(link)
+            else:
+                with contextlib.suppress(Exception):
+                    writer.close()
+        if stop_after:
+            self.request_stop()
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+
+    async def _handle_client_frame(self, frame: dict,
+                                   writer: asyncio.StreamWriter) -> bool:
+        """Serve one client request; returns True for a stop request."""
+        t = frame.get("t")
+        stop = False
+        try:
+            if t == "put":
+                reply = await self._client_put(frame)
+            elif t == "get":
+                reply = await self._client_get(frame)
+            elif t == "info":
+                reply = self._client_info()
+            elif t == "audit":
+                reply = self._client_audit()
+            elif t == "stop":
+                reply = {"t": "ok", "id": self.node_id}
+                stop = True
+            else:
+                reply = {"t": "error",
+                         "error": f"unknown request type {t!r}"}
+        except Exception as exc:  # a bad request must not kill the node
+            reply = {"t": "error", "error": f"{type(exc).__name__}: {exc}"}
+        writer.write(encode_frame(reply, self.config.codec))
+        await writer.drain()
+        return stop
+
+    async def _client_put(self, frame: dict) -> dict:
+        key = frame["key"]
+        message = ReplicaMessage(
+            event=ReplicaEvent(frame.get("event", "birth")),
+            key=key,
+            replica_id=frame["replica_id"],
+            address=frame.get("address", ""),
+            lifetime=float(frame.get("lifetime", 300.0)),
+        )
+        authority = self.overlay.authority(key)
+        if authority != self.node_id:
+            # A replica announcement is fire-and-forget control traffic
+            # with no retry of its own, so unlike protocol sends (whose
+            # loss the recovery machinery absorbs) it must not race a
+            # link that is still dialing: wait for the connection.
+            link = await self._ensure_link(authority)
+            if link is None:
+                return {"t": "error", "authority": authority,
+                        "error": f"authority {authority} is unreachable"}
+        self.transport.send_direct(authority, message)
+        return {"t": "ok", "authority": authority}
+
+    async def _client_get(self, frame: dict) -> dict:
+        key = frame["key"]
+        timeout = float(frame.get("timeout", 5.0))
+        node = self.node
+        loop = self.clock.loop
+        deadline = loop.time() + timeout
+        hit = node.post_local_query(key)
+        last_query = loop.time()
+        state = node.cache.get_or_create(key)
+        while True:
+            now = self.clock.now
+            if node._is_authority(key, state):
+                entries = list(
+                    node.authority_index.fresh_entries(key, now)
+                )
+                if entries:
+                    break
+                # The authoritative index is empty: keep polling — a
+                # birth may still be in flight — until the deadline
+                # reports an authoritative miss.
+            elif state.has_fresh(now):
+                entries = list(state.fresh_entries(now))
+                break
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return {"t": "result", "ok": False, "hit": False,
+                        "key": key, "entries": [],
+                        "error": f"no fresh entries within {timeout}s"}
+            if loop.time() - last_query >= 1.0:
+                # Re-post past the PFU timeout so a query frame lost to
+                # a mid-dial window gets re-pushed upstream.
+                node.post_local_query(key)
+                last_query = loop.time()
+            await asyncio.sleep(min(0.02, max(remaining, 0.001)))
+        return {
+            "t": "result", "ok": True, "hit": hit, "key": key,
+            "entries": [entry_to_wire(e) for e in entries],
+            "authority": self.overlay.authority(key),
+        }
+
+    def _client_info(self) -> dict:
+        checker = self.checker
+        return {
+            "t": "info",
+            "id": self.node_id,
+            "members": sorted(self.members),
+            "connections": sorted(self._conns),
+            "mode": self.config.mode,
+            "transport": {
+                "sent": self.transport.sent,
+                "sent_direct": self.transport.sent_direct,
+                "received": self.transport.received,
+                "delivered": self.transport.delivered,
+                "dropped": self.transport.dropped,
+            },
+            "recovery": self.metrics.recovery_report(),
+            "violations": (
+                len(checker.violations) if checker is not None else None
+            ),
+        }
+
+    def _client_audit(self) -> dict:
+        checker = self.checker
+        if checker is None:
+            return {"t": "audit", "ok": None, "violations": [],
+                    "error": "invariants disabled on this node"}
+        before = len(checker.violations)
+        checker.check_quiescent()
+        fresh = checker.violations[before:]
+        return {
+            "t": "audit",
+            "ok": not checker.violations,
+            "violations": [str(v) for v in checker.violations],
+            "fresh_violations": [str(v) for v in fresh],
+            "audits_run": checker.audits_run,
+        }
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def _log(self, text: str) -> None:
+        if not self.config.quiet:
+            prefix = self.node_id or f"{self.config.host}:?"
+            print(f"[{prefix}] {text}", flush=True)
+
+
+def _immediate(value):
+    """An awaitable resolving instantly to ``value`` (link cache hits)."""
+    future = asyncio.get_event_loop().create_future()
+    future.set_result(value)
+    return future
+
+
+async def run_node(config: LiveNodeConfig,
+                   install_signals: bool = True) -> LiveNode:
+    """Start a node, serve until stopped, return the (stopped) node."""
+    import signal
+
+    node = LiveNode(config)
+    await node.start()
+    if install_signals:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, node.request_stop)
+    await node.serve_forever()
+    return node
+
+
+def serve(config: LiveNodeConfig) -> int:
+    """Blocking entry point used by ``repro node serve|join``."""
+    try:
+        asyncio.run(run_node(config))
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0

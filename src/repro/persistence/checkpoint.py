@@ -104,23 +104,43 @@ def snapshot_network(network: "CupNetwork") -> bytes:
     return MAGIC + head + b"\n" + payload
 
 
-def _split(blob: bytes):
+def _describe(path) -> str:
+    """``" in <path>"`` when a file is known, ``""`` for raw blobs."""
+    return f" in {os.fspath(path)}" if path is not None else ""
+
+
+def _split(blob: bytes, path=None):
+    where = _describe(path)
     if not blob.startswith(MAGIC):
         raise CheckpointFormatError(
-            "not a CUP checkpoint (bad magic bytes)"
+            f"not a CUP checkpoint{where} (bad magic bytes)"
+        )
+    end = blob.find(b"\n", len(MAGIC))
+    if end < 0:
+        # Either the file was truncated inside the header line, or the
+        # header exceeds the reader's buffer (checkpoint_info peeks a
+        # bounded prefix) — both used to surface as a bare ValueError.
+        raise CheckpointFormatError(
+            f"corrupt checkpoint{where}: no header terminator within "
+            f"the first {len(blob)} bytes (truncated file or oversized "
+            "header)"
         )
     try:
-        end = blob.index(b"\n", len(MAGIC))
         header = json.loads(blob[len(MAGIC):end].decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise CheckpointFormatError(
-            f"corrupt checkpoint header: {exc}"
+            f"corrupt checkpoint header{where}: {exc}"
         ) from None
+    if not isinstance(header, dict):
+        raise CheckpointFormatError(
+            f"corrupt checkpoint header{where}: expected a JSON object, "
+            f"got {type(header).__name__}"
+        )
     return header, blob[end + 1:]
 
 
 def restore_network(
-    blob: bytes, verify_fingerprint: bool = True
+    blob: bytes, verify_fingerprint: bool = True, path=None
 ) -> "CupNetwork":
     """Reconstruct the network a :func:`snapshot_network` blob captured.
 
@@ -129,11 +149,12 @@ def restore_network(
     nothing) and continues deterministically: ``run()`` picks up at the
     snapshot's clock without re-beginning the workload.
     """
-    header, payload = _split(blob)
+    header, payload = _split(blob, path=path)
+    where = _describe(path)
     version = header.get("format")
     if version != FORMAT_VERSION:
         raise CheckpointFormatError(
-            f"checkpoint format {version!r} is not supported "
+            f"checkpoint format {version!r}{where} is not supported "
             f"(this code reads format {FORMAT_VERSION})"
         )
     if verify_fingerprint:
@@ -145,7 +166,17 @@ def restore_network(
                 f"(fingerprint {stamped} != current {current}); resuming "
                 "would splice two code versions into one run"
             )
-    network = pickle.loads(payload)
+    try:
+        network = pickle.loads(payload)
+    except (pickle.UnpicklingError, EOFError, ValueError,
+            AttributeError, ImportError, IndexError) as exc:
+        # A truncated or bit-rotted payload surfaces as any of these
+        # depending on where the stream breaks; all of them mean the
+        # same thing to a caller: this file is not restorable.
+        raise CheckpointFormatError(
+            f"corrupt checkpoint payload{where}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
     # Belt and braces: never trust a serialized loop flag.
     network.sim._running = False
     return network
@@ -183,7 +214,9 @@ def load_checkpoint(path, verify_fingerprint: bool = True) -> "CupNetwork":
     """Restore the network saved at ``path`` (see :func:`restore_network`)."""
     with open(path, "rb") as handle:
         blob = handle.read()
-    return restore_network(blob, verify_fingerprint=verify_fingerprint)
+    return restore_network(
+        blob, verify_fingerprint=verify_fingerprint, path=path
+    )
 
 
 def checkpoint_info(path) -> dict:
@@ -195,7 +228,7 @@ def checkpoint_info(path) -> dict:
     """
     with open(path, "rb") as handle:
         blob = handle.read(1 << 16)
-    header, _ = _split(blob)
+    header, _ = _split(blob, path=path)
     return header
 
 

@@ -301,3 +301,70 @@ def test_restored_equals_straight_under_chaos(loss, seed, cut):
     restored = restore_network(snapshot_network(resumed))
     verify_restored(restored)
     assert canonical(restored.run()) == canonical(expected)
+
+# ----------------------------------------------------------------------
+# Corruption diagnostics: every malformed file fails as
+# CheckpointFormatError naming the offending path
+# ----------------------------------------------------------------------
+
+
+def test_truncated_header_is_a_format_error_not_a_raw_valueerror():
+    # A file cut off before the header's newline used to surface as the
+    # bytes-split ValueError; it must be a CheckpointFormatError.
+    net = CupNetwork(tiny_config())
+    blob = snapshot_network(net)
+    end = blob.index(b"\n", len(MAGIC))
+    with pytest.raises(CheckpointFormatError, match="no header terminator"):
+        restore_network(blob[:end])
+
+
+def test_corrupt_json_header_is_a_format_error():
+    payload = b"garbage-that-is-not-json\n" + b"\x80\x04."
+    with pytest.raises(CheckpointFormatError, match="header"):
+        restore_network(MAGIC + payload)
+
+
+def test_non_dict_header_is_a_format_error():
+    blob = MAGIC + b"[1, 2, 3]\n" + b"\x80\x04."
+    with pytest.raises(CheckpointFormatError, match="JSON object"):
+        restore_network(blob)
+
+
+def test_truncated_pickle_payload_is_a_format_error():
+    net = CupNetwork(tiny_config())
+    blob = snapshot_network(net)
+    with pytest.raises(CheckpointFormatError, match="payload"):
+        restore_network(blob[: len(blob) // 2], verify_fingerprint=False)
+
+
+def test_corrupt_file_errors_name_the_path(tmp_path):
+    victim = tmp_path / "corrupt.ckpt"
+    victim.write_bytes(b"not a checkpoint at all")
+    with pytest.raises(CheckpointFormatError, match="corrupt.ckpt"):
+        load_checkpoint(victim)
+    with pytest.raises(CheckpointFormatError, match="corrupt.ckpt"):
+        checkpoint_info(victim)
+
+
+def test_truncated_file_on_disk_names_the_path(tmp_path):
+    net = CupNetwork(tiny_config())
+    net.run(until=50.0)
+    path = tmp_path / "run.ckpt"
+    save_checkpoint(net, path)
+    blob = path.read_bytes()
+    victim = tmp_path / "torn.ckpt"
+    victim.write_bytes(blob[: len(blob) - len(blob) // 3])
+    with pytest.raises(CheckpointFormatError, match="torn.ckpt"):
+        load_checkpoint(victim)
+    # The header survives truncation of the payload, so inspection
+    # still works — info reads only the front of the file.
+    assert checkpoint_info(victim)["format"] == FORMAT_VERSION
+
+
+def test_header_without_newline_mentions_truncation(tmp_path):
+    victim = tmp_path / "headless.ckpt"
+    victim.write_bytes(MAGIC + b'{"format": 1, "no-newline": true')
+    with pytest.raises(
+        CheckpointFormatError, match="truncated file or oversized header"
+    ):
+        checkpoint_info(victim)

@@ -149,3 +149,72 @@ class TestProfileCommand:
     def test_profile_sort_choices_enforced(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["profile", "macro", "--sort", "wat"])
+
+
+class TestNodeCommands:
+    def test_node_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["node"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["node", "serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 9400
+        assert args.mode == "cup"
+        assert args.policy == "second-chance"
+        assert args.codec == "json"
+        assert not args.no_invariants
+        assert not args.no_recovery
+
+    def test_join_requires_at_least_one_peer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["node", "join"])
+        args = build_parser().parse_args(
+            ["node", "join", "10.0.0.1:9400", "10.0.0.2:9400"]
+        )
+        assert args.peers == ["10.0.0.1:9400", "10.0.0.2:9400"]
+        assert args.port == 0  # joiners default to an OS-assigned port
+
+    def test_serve_mode_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["node", "serve", "--mode", "gossip"])
+
+    def test_put_get_parse(self):
+        put = build_parser().parse_args(
+            ["node", "put", "somekey", "replica-1",
+             "--node", "10.0.0.1:9400", "--lifetime", "60",
+             "--event", "refresh"]
+        )
+        assert put.key == "somekey"
+        assert put.replica_id == "replica-1"
+        assert put.lifetime == 60.0
+        assert put.event == "refresh"
+        get = build_parser().parse_args(
+            ["node", "get", "somekey", "--wait", "2.5"]
+        )
+        assert get.key == "somekey"
+        assert get.wait == 2.5
+        assert get.node == "127.0.0.1:9400"
+
+    def test_put_event_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["node", "put", "k", "r", "--event", "resurrect"]
+            )
+
+    def test_client_commands_fail_cleanly_without_a_daemon(self, capsys):
+        # Port 9 (discard) refuses on localhost: the client must exit 1
+        # with a diagnostic, not a traceback.
+        status = main(["node", "info", "--node", "127.0.0.1:9",
+                       "--timeout", "0.5"])
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_node_address_parsing(self):
+        from repro.net.client import parse_address
+
+        assert parse_address("10.0.0.1:1234") == ("10.0.0.1", 1234)
+        assert parse_address("10.0.0.1") == ("10.0.0.1", 9400)
+        assert parse_address(":7777") == ("127.0.0.1", 7777)
+        with pytest.raises(ValueError):
+            parse_address("host:notaport")

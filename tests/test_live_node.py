@@ -1,0 +1,324 @@
+"""Live daemon: in-process clusters over real localhost sockets.
+
+Each test drives an ``asyncio.run`` scenario (plain pytest — no asyncio
+plugin): daemons bind OS-assigned ports, dial each other, and push CUP
+traffic through :class:`~repro.net.transport.LiveTransport` — the same
+core classes the simulator runs, now over TCP.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.net.clock import LiveClock
+from repro.net.daemon import LiveNode, LiveNodeConfig
+from repro.net.seam import (
+    conforming,
+    missing_clock_api,
+    missing_transport_methods,
+)
+from repro.net.transport import LiveTransport
+from repro.net.wire import FrameDecoder, encode_frame
+from repro.sim.engine import Simulator
+from repro.sim.network import Transport
+
+
+# ----------------------------------------------------------------------
+# Seam conformance: both worlds provide the surface core/ consumes
+# ----------------------------------------------------------------------
+
+
+class _NullRouter:
+    def send_wire(self, src, dst, message, direct):
+        return False
+
+    def is_peer(self, node_id):
+        return False
+
+    def call_soon(self, fn, *args):
+        fn(*args)
+
+
+def test_transport_seam_conformance_both_worlds():
+    sim = Simulator()
+    live = LiveTransport(LiveClock(), _NullRouter())
+    assert missing_transport_methods(Transport(sim)) == []
+    assert missing_transport_methods(live) == []
+    assert conforming([Transport(sim), live])
+
+
+def test_clock_seam_conformance_both_worlds():
+    assert missing_clock_api(Simulator()) == []
+    assert missing_clock_api(LiveClock()) == []
+
+
+def test_live_clock_tracks_wall_time():
+    clock = LiveClock()
+    assert abs(clock.now - time.time()) < 1.0
+    with pytest.raises(ValueError):
+        asyncio.run(_schedule_negative(clock))
+
+
+async def _schedule_negative(clock):
+    clock.schedule(-1.0, lambda: None)
+
+
+def test_live_transport_rejects_self_send():
+    transport = LiveTransport(LiveClock(), _NullRouter())
+    with pytest.raises(ValueError):
+        transport.send("n1", "n1", _Probe())
+
+
+def test_live_transport_counts_unroutable_as_dropped():
+    transport = LiveTransport(LiveClock(), _NullRouter())
+    transport.send("n1", "n2", _Probe())
+    assert transport.sent == 1
+    assert transport.dropped == 1
+
+
+def test_live_transport_counts_wire_arrivals_as_received():
+    transport = LiveTransport(LiveClock(), _NullRouter())
+    inbox = []
+
+    class Handler:
+        def receive(self, message, sender):
+            inbox.append((message, sender))
+
+    transport.register("n2", Handler())
+    transport.deliver_wire("n1", "n2", _Probe())
+    assert transport.received == 1
+    assert transport.delivered == 1
+    assert inbox and inbox[0][1] == "n1"
+
+
+class _Probe:
+    kind = "keepalive"
+    hops = 0
+
+
+# ----------------------------------------------------------------------
+# Cluster scenarios
+# ----------------------------------------------------------------------
+
+
+async def _poll(predicate, timeout=10.0, interval=0.02):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        if predicate():
+            return
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition never became true")
+        await asyncio.sleep(interval)
+
+
+async def _start_cluster(count, **overrides):
+    overrides.setdefault("quiet", True)
+    overrides.setdefault("keepalive_period", 0.2)
+    first = LiveNode(LiveNodeConfig(port=0, **overrides))
+    await first.start()
+    nodes = [first]
+    for _ in range(count - 1):
+        node = LiveNode(
+            LiveNodeConfig(port=0, peers=(first.node_id,), **overrides)
+        )
+        await node.start()
+        nodes.append(node)
+    want = {node.node_id for node in nodes}
+    await _poll(lambda: all(node.members == want for node in nodes))
+    return nodes
+
+
+async def _stop_all(nodes):
+    for node in reversed(nodes):
+        if not node._stopped.is_set():
+            node.request_stop()
+            await node.serve_forever()
+
+
+def _run_cluster(count, scenario, **overrides):
+    async def main():
+        nodes = await _start_cluster(count, **overrides)
+        try:
+            return await scenario(nodes)
+        finally:
+            await _stop_all(nodes)
+
+    return asyncio.run(main())
+
+
+def test_three_nodes_converge_membership():
+    async def scenario(nodes):
+        want = {node.node_id for node in nodes}
+        for node in nodes:
+            assert node.members == want
+            assert set(node.overlay.node_ids()) == want
+
+    _run_cluster(3, scenario)
+
+
+def test_put_propagates_and_get_hits_everywhere():
+    async def scenario(nodes):
+        key = "live/key"
+        reply = await nodes[0]._client_put(
+            {"t": "put", "key": key, "replica_id": "r1",
+             "address": "addr", "lifetime": 120.0}
+        )
+        assert reply["t"] == "ok"
+        authority = reply["authority"]
+        assert authority in {node.node_id for node in nodes}
+        for node in nodes:
+            result = await node._client_get({"key": key, "timeout": 10.0})
+            assert result["ok"], result
+            assert result["entries"][0]["replica_id"] == "r1"
+        # CUP left every subscriber a local copy: repeat gets are hits.
+        for node in nodes:
+            again = await node._client_get({"key": key, "timeout": 5.0})
+            assert again["hit"], again
+
+    _run_cluster(3, scenario)
+
+
+def test_refresh_pushes_to_subscribers_unprompted():
+    async def scenario(nodes):
+        key = "live/refresh"
+        put = {"t": "put", "key": key, "replica_id": "r1",
+               "address": "addr", "lifetime": 120.0}
+        authority_id = (await nodes[0]._client_put(dict(put)))["authority"]
+        subscribers = [n for n in nodes if n.node_id != authority_id]
+        for node in subscribers:
+            first = await node._client_get({"key": key, "timeout": 10.0})
+            assert first["ok"], first
+        await nodes[0]._client_put(dict(put))  # birth again -> REFRESH push
+
+        def arrived(node):
+            state = node.node.cache.get_or_create(key)
+            entries = state.fresh_entries(node.clock.now)
+            return any(e.sequence >= 2 for e in entries)
+
+        await _poll(lambda: all(arrived(n) for n in subscribers))
+
+    _run_cluster(3, scenario)
+
+
+def test_quiescent_audit_is_clean_after_traffic():
+    async def scenario(nodes):
+        for i, key in enumerate(["a", "b", "c"]):
+            await nodes[i % len(nodes)]._client_put(
+                {"t": "put", "key": key, "replica_id": f"r{i}",
+                 "address": "x", "lifetime": 60.0}
+            )
+        for node in nodes:
+            for key in ["a", "b", "c"]:
+                result = await node._client_get(
+                    {"key": key, "timeout": 10.0}
+                )
+                assert result["ok"], result
+        await asyncio.sleep(0.1)  # drain in-flight clear-bit traffic
+        for node in nodes:
+            audit = node._client_audit()
+            assert audit["ok"] is True, audit["violations"]
+            info = node._client_info()
+            assert info["violations"] == 0
+
+    _run_cluster(3, scenario)
+
+
+def test_graceful_leave_shrinks_membership_without_violations():
+    async def scenario(nodes):
+        leaver = nodes[-1]
+        leaver.request_stop()
+        await leaver.serve_forever()
+        rest = nodes[:-1]
+        want = {node.node_id for node in rest}
+        await _poll(lambda: all(node.members == want for node in rest))
+        for node in rest:
+            assert node._client_audit()["ok"] is True
+
+    _run_cluster(3, scenario)
+
+
+def test_silent_crash_is_detected_by_keepalive():
+    async def scenario(nodes):
+        victim = nodes[-1]
+        # Die without a leaving broadcast: stop timers, drop sockets.
+        victim.keepalive.stop()
+        victim._server.close()
+        for link in list(victim._conns.values()):
+            if link.reader_task is not None:
+                link.reader_task.cancel()
+            link.close()
+        victim._conns.clear()
+        victim._stopping = True
+        victim._stopped.set()
+        rest = nodes[:-1]
+        want = {node.node_id for node in rest}
+        await _poll(
+            lambda: all(node.members == want for node in rest),
+            timeout=20.0,
+        )
+        for node in rest:
+            assert node._client_audit()["ok"] is True
+
+    _run_cluster(3, scenario, keepalive_period=0.1, keepalive_misses=3)
+
+
+def test_garbage_frames_drop_the_connection_not_the_node():
+    async def scenario(nodes):
+        node = nodes[0]
+        host, _, port = node.node_id.rpartition(":")
+        reader, writer = await asyncio.open_connection(host, int(port))
+        writer.write(b"GET / HTTP/1.1\r\n\r\n")
+        await writer.drain()
+        data = await asyncio.wait_for(reader.read(64), timeout=5.0)
+        assert data == b""  # connection dropped, nothing leaked back
+        writer.close()
+        # The daemon survives and still serves well-formed clients.
+        reply = await _socket_request(node, {"t": "info"})
+        assert reply["t"] == "info"
+        assert reply["id"] == node.node_id
+
+    _run_cluster(2, scenario)
+
+
+def test_socket_client_protocol_end_to_end():
+    async def scenario(nodes):
+        put = await _socket_request(
+            nodes[0],
+            {"t": "put", "key": "sock/key", "replica_id": "r1",
+             "address": "a", "lifetime": 60.0},
+        )
+        assert put["t"] == "ok"
+        got = await _socket_request(
+            nodes[1], {"t": "get", "key": "sock/key", "timeout": 10.0}
+        )
+        assert got["ok"], got
+        assert got["entries"][0]["key"] == "sock/key"
+        bad = await _socket_request(nodes[0], {"t": "frobnicate"})
+        assert bad["t"] == "error"
+
+    _run_cluster(2, scenario)
+
+
+async def _socket_request(node, frame):
+    host, _, port = node.node_id.rpartition(":")
+    reader, writer = await asyncio.open_connection(host, int(port))
+    try:
+        writer.write(encode_frame(frame))
+        await writer.drain()
+        decoder = FrameDecoder()
+        while True:
+            data = await asyncio.wait_for(reader.read(1 << 16), timeout=15.0)
+            assert data, "daemon closed the connection without replying"
+            frames = decoder.feed(data)
+            if frames:
+                return frames[0]
+    finally:
+        writer.close()
+
+
+def test_config_rejects_unknown_mode_and_codec():
+    with pytest.raises(ValueError):
+        LiveNodeConfig(mode="gossip")
+    with pytest.raises(Exception):
+        LiveNodeConfig(codec="carrier-pigeon")

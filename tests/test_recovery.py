@@ -28,7 +28,7 @@ class Recorder:
 
 
 class FakeMetrics:
-    """Just the six recovery counters the manager increments."""
+    """Just the recovery counters the manager increments."""
 
     def __init__(self):
         self.gaps_detected = 0
@@ -36,6 +36,7 @@ class FakeMetrics:
         self.recovery_retries = 0
         self.recovered_updates = 0
         self.degraded_reads = 0
+        self.degraded_repromotions = 0
         self.duplicates_suppressed = 0
 
 
@@ -262,6 +263,71 @@ class TestRetryAndDegradation:
         manager.note_received("parent", "k00000", 3)
         sim.run_until(0.4)
         assert metrics.nacks_sent == 0
+
+
+class TestRepromotion:
+    """Degraded marks lift when the recovery pull is finally answered."""
+
+    def _degraded_manager(self):
+        config = RecoveryConfig(max_retries=0, base_timeout=0.1)
+        sim, _, _, manager, metrics, pulls = make_manager(config)
+        manager.note_received("parent", "k00000", 2)  # gap, never filled
+        sim.run()
+        assert manager.degraded_keys == {"k00000"}
+        assert pulls == ["k00000"]
+        return manager, metrics
+
+    def test_note_refreshed_clears_the_mark_and_counts(self):
+        manager, metrics = self._degraded_manager()
+        manager.note_refreshed("k00000")
+        assert manager.degraded_keys == set()
+        assert metrics.degraded_repromotions == 1
+
+    def test_note_refreshed_is_idempotent(self):
+        manager, metrics = self._degraded_manager()
+        manager.note_refreshed("k00000")
+        manager.note_refreshed("k00000")
+        assert metrics.degraded_repromotions == 1
+
+    def test_note_refreshed_on_never_degraded_key_is_a_noop(self):
+        _, _, _, manager, metrics, _ = make_manager()
+        manager.note_refreshed("other")
+        assert metrics.degraded_repromotions == 0
+        assert manager.degraded_keys == set()
+
+    def test_key_can_degrade_again_after_repromotion(self):
+        config = RecoveryConfig(max_retries=0, base_timeout=0.1)
+        sim, _, _, manager, metrics, pulls = make_manager(config)
+        manager.note_received("parent", "k00000", 2)
+        sim.run()
+        manager.note_refreshed("k00000")
+        manager.note_received("parent", "k00000", 5)  # fresh gap
+        sim.run()
+        assert manager.degraded_keys == {"k00000"}
+        assert metrics.degraded_reads == 2
+        assert metrics.degraded_repromotions == 1
+
+    def test_pull_response_repromotes_through_the_node(self):
+        """End to end over a lossy mesh: keys degraded mid-run lift
+        their mark once maintenance traffic re-delivers fresh state, and
+        the run's report carries the re-promotion count."""
+        scenario = with_chaos(
+            SCENARIOS["flash-crowd"], loss=0.3, duplicate=0.1
+        )
+        result = run_scenario(
+            scenario, seed=7, raise_on_violation=False, convergence=True
+        )
+        report = result.network.metrics.recovery_report()
+        assert "degraded_repromotions" in report
+        assert report["degraded_repromotions"] >= 0
+        degraded_now = set()
+        for node in result.network.nodes.values():
+            if node.recovery is not None:
+                degraded_now |= node.recovery.degraded_keys
+        # Every currently-marked key must still be justified: marks are
+        # no longer append-only, so the union reflects only keys whose
+        # pulls have not yet been answered.
+        assert report["degraded_reads"] >= len(degraded_now)
 
 
 class TestPrunePeers:
