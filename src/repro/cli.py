@@ -491,6 +491,8 @@ def _node_config_from_args(args, joining: bool):
         invariants=not args.no_invariants,
         recovery=not args.no_recovery,
         quiet=args.quiet,
+        state_dir=args.state_dir,
+        snapshot_interval=args.snapshot_interval,
     )
 
 
@@ -514,6 +516,12 @@ def _node_request(args, call) -> int:
     try:
         with NodeClient(args.node, timeout=args.timeout) as client:
             reply = call(client)
+    except ConnectionRefusedError:
+        from repro.net.client import parse_address
+
+        host, port = parse_address(args.node)
+        print(f"error: no daemon at {host}:{port}", file=sys.stderr)
+        return 1
     except (OSError, WireError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -802,6 +810,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--no-recovery", action="store_true",
             help="disable gap-detection/NACK recovery",
+        )
+        p.add_argument(
+            "--state-dir", default=None, metavar="DIR",
+            help="persist durable node state here and warm-rejoin from "
+                 "it at boot (default: stateless)",
+        )
+        p.add_argument(
+            "--snapshot-interval", type=float, default=5.0, metavar="S",
+            help="write-behind snapshot cadence with --state-dir "
+                 "(default 5s)",
         )
         p.add_argument("--quiet", action="store_true",
                        help="suppress membership/lifecycle logging")

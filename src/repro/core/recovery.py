@@ -331,6 +331,58 @@ class RecoveryManager:
                 del registry[link]
 
     # ------------------------------------------------------------------
+    # Durable state (live-node persistence)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Plain-data snapshot of the state a restart must not forget.
+
+        Three pieces survive a process death; everything else is
+        legitimately volatile:
+
+        * ``send_seq`` — reusing per-(neighbor, key) sequence numbers
+          after a restart would make this node's fresh updates look like
+          duplicates to every downstream watermark, so they would be
+          silently suppressed until the counter caught up.
+        * ``recv_high`` — forgetting receive watermarks would make the
+          first in-order arrival after restart look like a giant gap and
+          trigger a NACK storm for updates that were already applied.
+        * ``degraded`` — keys this node already gave up recovering; open
+          gaps are folded in, because their retry timers die with the
+          process and the post-restore reconcile pull is what actually
+          refills them.
+
+        Retransmission buffers are deliberately dropped: a NACK arriving
+        after restart simply finds nothing to resend, and the child's
+        own retry/degradation machinery copes — exactly as it does when
+        the bounded buffer evicts.
+        """
+        degraded = set(self.degraded_keys)
+        degraded.update(key for _sender, key in self._gaps)
+        return {
+            "send_seq": dict(self._send_seq),
+            "recv_high": dict(self._recv_high),
+            "degraded": sorted(degraded),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Install an :meth:`export_state` snapshot (max-merge semantics).
+
+        Watermarks and sequences only ever move forward, so a restore
+        into a manager that has already seen traffic keeps whichever
+        side is further along.
+        """
+        for link, seq in state.get("send_seq", {}).items():
+            link = (link[0], link[1])
+            if seq > self._send_seq.get(link, 0):
+                self._send_seq[link] = seq
+        for link, seq in state.get("recv_high", {}).items():
+            link = (link[0], link[1])
+            if seq > self._recv_high.get(link, 0):
+                self._recv_high[link] = seq
+        self.degraded_keys.update(state.get("degraded", ()))
+
+    # ------------------------------------------------------------------
     # Introspection (tests, invariant audits)
     # ------------------------------------------------------------------
 

@@ -160,6 +160,13 @@ class InvariantChecker:
             )
         self.network = network
         self.hazards = hazard_set
+        # Temporarily declared hazards (hazard -> expiry time, +inf for
+        # indefinite): a fault injector opens a window around each
+        # injected fault so exactly the affected checks relax for
+        # exactly the fault's duration, instead of declaring the hazard
+        # for the whole run.  Empty on the simulator's scenario path, so
+        # the hot predicates below stay one truthiness test.
+        self._hazard_windows: Dict[str, float] = {}
         self.raise_immediately = raise_immediately
         self.violations: List[Violation] = []
         #: Counters for reporting/tests.
@@ -183,22 +190,82 @@ class InvariantChecker:
         self._answers = 0
 
     # ------------------------------------------------------------------
+    # Hazard windows (temporary declarations around injected faults)
+    # ------------------------------------------------------------------
+
+    def open_hazard_window(
+        self, hazards: Iterable[str], duration: Optional[float] = None
+    ) -> None:
+        """Declare ``hazards`` temporarily, around an injected fault.
+
+        With ``duration`` the window closes itself ``duration`` seconds
+        from the network clock's *now*; without, it stays open until
+        :meth:`close_hazard_window`.  Re-opening an already open window
+        extends it (the later expiry wins) — overlapping fault
+        injections must not shorten each other's grace.
+        """
+        hazard_set = frozenset(hazards)
+        unknown = hazard_set - HAZARDS
+        if unknown:
+            raise ValueError(
+                f"unknown hazards: {sorted(unknown)}; choose from "
+                f"{sorted(HAZARDS)}"
+            )
+        if duration is not None and duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        expiry = (
+            float("inf") if duration is None
+            else self.network.sim.now + duration
+        )
+        windows = self._hazard_windows
+        for hazard in hazard_set:
+            current = windows.get(hazard)
+            if current is None or expiry > current:
+                windows[hazard] = expiry
+
+    def close_hazard_window(
+        self, hazards: Optional[Iterable[str]] = None
+    ) -> None:
+        """Close the named windows (or every open one with ``None``)."""
+        if hazards is None:
+            self._hazard_windows.clear()
+            return
+        for hazard in hazards:
+            self._hazard_windows.pop(hazard, None)
+
+    def active_hazards(self) -> FrozenSet[str]:
+        """The base hazard set plus every currently open window."""
+        windows = self._hazard_windows
+        if not windows:
+            return self.hazards
+        now = self.network.sim.now
+        expired = [h for h, expiry in windows.items() if expiry < now]
+        for hazard in expired:
+            del windows[hazard]
+        if not windows:
+            return self.hazards
+        return self.hazards | frozenset(windows)
+
+    # ------------------------------------------------------------------
     # Hazard predicates
     # ------------------------------------------------------------------
 
     @property
     def _membership_unstable(self) -> bool:
-        return bool(self.hazards & {"churn", "crash"})
+        return bool(self.active_hazards() & {"churn", "crash"})
 
     @property
     def _lossy(self) -> bool:
         return bool(
-            self.hazards & {"churn", "crash", "partition", "capacity", "loss"}
+            self.active_hazards()
+            & {"churn", "crash", "partition", "capacity", "loss"}
         )
 
     @property
     def _dup_tolerant(self) -> bool:
-        return self._lossy or bool(self.hazards & {"duplication", "reorder"})
+        return self._lossy or bool(
+            self.active_hazards() & {"duplication", "reorder"}
+        )
 
     # ------------------------------------------------------------------
     # Violation plumbing
@@ -312,7 +379,7 @@ class InvariantChecker:
         self._watermarks[mark_key] = entry.sequence
 
     def entry_removed(self, node_id: NodeId, key: str, replica_id: str) -> None:
-        if "capacity" in self.hazards:
+        if "capacity" in self.active_hazards():
             # The priority pump can send a delete past a queued refresh;
             # the stale reinstall that follows is documented protocol
             # behaviour (bounded by the entry lifetime), so the
@@ -602,10 +669,12 @@ class InvariantChecker:
     # ------------------------------------------------------------------
 
     def report(self) -> str:
+        windows = sorted(self._hazard_windows)
         lines = [
             f"invariants: {'OK' if self.ok else 'VIOLATED'} "
             f"(hazards={sorted(self.hazards) or 'none'}, "
-            f"audits={self.audits_run}, updates={self.updates_seen}, "
+            + (f"windows={windows}, " if windows else "")
+            + f"audits={self.audits_run}, updates={self.updates_seen}, "
             f"entries={self.entries_checked})"
         ]
         lines.extend(f"  {v}" for v in self.violations)

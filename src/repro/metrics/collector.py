@@ -72,6 +72,19 @@ class MetricsCollector:
         self.degraded_reads = 0
         self.degraded_repromotions = 0
         self.duplicates_suppressed = 0
+        # --- live-node durability and connection resilience --------------
+        # Incremented only by the asyncio daemon (repro.net.daemon) and
+        # its node store; structurally zero on every simulator path and
+        # absent from MetricsSummary, so golden pins are untouched.
+        # Read them via livenode_report().
+        self.state_snapshots = 0
+        self.state_snapshot_failures = 0
+        self.state_restored_keys = 0
+        self.dial_failures = 0
+        self.dial_retries = 0
+        self.outbox_overflows = 0
+        self.peers_suspected = 0
+        self.peers_declared_dead = 0
         # --- latency (seconds, extension beyond the paper's hop metric)
         self.answer_delay_total = 0.0
         self.answer_delay_count = 0
@@ -137,6 +150,23 @@ class MetricsCollector:
             "degraded_reads": self.degraded_reads,
             "degraded_repromotions": self.degraded_repromotions,
             "duplicates_suppressed": self.duplicates_suppressed,
+        }
+
+    def livenode_report(self) -> Dict[str, int]:
+        """Daemon durability/resilience counters, as a plain dict.
+
+        Like :meth:`recovery_report`, deliberately outside
+        :class:`MetricsSummary`: these exist only on the live stack.
+        """
+        return {
+            "state_snapshots": self.state_snapshots,
+            "state_snapshot_failures": self.state_snapshot_failures,
+            "state_restored_keys": self.state_restored_keys,
+            "dial_failures": self.dial_failures,
+            "dial_retries": self.dial_retries,
+            "outbox_overflows": self.outbox_overflows,
+            "peers_suspected": self.peers_suspected,
+            "peers_declared_dead": self.peers_declared_dead,
         }
 
     # ------------------------------------------------------------------

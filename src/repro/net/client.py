@@ -11,7 +11,8 @@ peers: :func:`~repro.net.wire.encode_frame` out,
 from __future__ import annotations
 
 import socket
-from typing import Optional, Tuple
+from collections import deque
+from typing import Deque, Iterable, Optional, Tuple
 
 from repro.net.wire import FrameDecoder, WireError, encode_frame
 
@@ -39,6 +40,10 @@ class NodeClient:
         self._codec = codec
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._decoder = FrameDecoder()
+        # Responses decoded past the one being awaited (a recv can land
+        # mid-pipeline and carry several frames); served FIFO by later
+        # requests instead of being dropped on the floor.
+        self._pending: Deque[dict] = deque()
 
     def __enter__(self) -> "NodeClient":
         return self
@@ -53,18 +58,23 @@ class NodeClient:
             pass
 
     def request(self, frame: dict) -> dict:
-        """Send one request frame; block for the single response frame."""
+        """Send one request frame; block for its response frame.
+
+        Responses are matched to requests by order (the daemon serves
+        one client frame at a time per connection), so a frame that
+        arrived in the same ``recv`` as an earlier response waits in
+        ``_pending`` for the request it answers.
+        """
         self._sock.sendall(encode_frame(frame, self._codec))
-        while True:
+        while not self._pending:
             data = self._sock.recv(_READ_CHUNK)
             if not data:
                 raise WireError(
                     f"node {self.address} closed the connection "
                     f"before responding"
                 )
-            frames = self._decoder.feed(data)
-            if frames:
-                return frames[0]
+            self._pending.extend(self._decoder.feed(data))
+        return self._pending.popleft()
 
     # Convenience wrappers ------------------------------------------------
 
@@ -86,6 +96,15 @@ class NodeClient:
 
     def audit(self) -> dict:
         return self.request({"t": "audit"})
+
+    def hazard(self, hazards: Iterable[str], action: str = "open",
+               duration: Optional[float] = None) -> dict:
+        """Open/close invariant hazard windows on the daemon's checker."""
+        frame = {"t": "hazard", "action": action,
+                 "hazards": list(hazards)}
+        if duration is not None:
+            frame["duration"] = duration
+        return self.request(frame)
 
     def stop(self) -> dict:
         return self.request({"t": "stop"})

@@ -29,8 +29,10 @@ from repro.sim.network import Message, NodeId
 
 __all__ = [
     "ClockSeam",
+    "RouterSeam",
     "TransportSeam",
     "missing_clock_api",
+    "missing_router_methods",
     "missing_transport_methods",
 ]
 
@@ -90,6 +92,33 @@ class TransportSeam(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
+class RouterSeam(Protocol):
+    """What :class:`~repro.net.transport.LiveTransport` needs of the
+    daemon it routes for.
+
+    The live transport turns a protocol send into a wire frame and asks
+    its router — the :class:`~repro.net.daemon.LiveNode` — where (and
+    whether) it can go.  ``send_wire`` returns False when the frame was
+    dropped (no link, outbox full); the transport counts the drop and
+    the protocol's own retry machinery absorbs the loss.
+    """
+
+    def is_peer(self, node_id: NodeId) -> bool:
+        ...  # pragma: no cover - protocol definition
+
+    def call_soon(self, fn, *args) -> None:
+        ...  # pragma: no cover - protocol definition
+
+    def send_wire(
+        self, src: NodeId, dst: NodeId, message: Message, direct: bool
+    ) -> bool:
+        ...  # pragma: no cover - protocol definition
+
+
+#: Method surface of :class:`RouterSeam`, for conformance checks.
+ROUTER_METHODS: Tuple[str, ...] = ("is_peer", "call_soon", "send_wire")
+
+
 #: Method surface of :class:`TransportSeam`, for conformance checks.
 TRANSPORT_METHODS: Tuple[str, ...] = (
     "register", "unregister", "is_registered",
@@ -115,6 +144,14 @@ def missing_transport_methods(transport: Any) -> List[str]:
         if not hasattr(transport, name)
     )
     return missing
+
+
+def missing_router_methods(router: Any) -> List[str]:
+    """Names of seam methods ``router`` fails to provide."""
+    return [
+        name for name in ROUTER_METHODS
+        if not callable(getattr(router, name, None))
+    ]
 
 
 def missing_clock_api(clock: Any) -> List[str]:

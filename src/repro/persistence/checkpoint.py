@@ -109,31 +109,32 @@ def _describe(path) -> str:
     return f" in {os.fspath(path)}" if path is not None else ""
 
 
-def _split(blob: bytes, path=None):
+def _split(blob: bytes, path=None, magic: bytes = MAGIC,
+           kind: str = "checkpoint"):
     where = _describe(path)
-    if not blob.startswith(MAGIC):
+    if not blob.startswith(magic):
         raise CheckpointFormatError(
-            f"not a CUP checkpoint{where} (bad magic bytes)"
+            f"not a CUP {kind}{where} (bad magic bytes)"
         )
-    end = blob.find(b"\n", len(MAGIC))
+    end = blob.find(b"\n", len(magic))
     if end < 0:
         # Either the file was truncated inside the header line, or the
         # header exceeds the reader's buffer (checkpoint_info peeks a
         # bounded prefix) — both used to surface as a bare ValueError.
         raise CheckpointFormatError(
-            f"corrupt checkpoint{where}: no header terminator within "
+            f"corrupt {kind}{where}: no header terminator within "
             f"the first {len(blob)} bytes (truncated file or oversized "
             "header)"
         )
     try:
-        header = json.loads(blob[len(MAGIC):end].decode("utf-8"))
+        header = json.loads(blob[len(magic):end].decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise CheckpointFormatError(
-            f"corrupt checkpoint header{where}: {exc}"
+            f"corrupt {kind} header{where}: {exc}"
         ) from None
     if not isinstance(header, dict):
         raise CheckpointFormatError(
-            f"corrupt checkpoint header{where}: expected a JSON object, "
+            f"corrupt {kind} header{where}: expected a JSON object, "
             f"got {type(header).__name__}"
         )
     return header, blob[end + 1:]
@@ -187,18 +188,18 @@ def restore_network(
 # ----------------------------------------------------------------------
 
 
-def save_checkpoint(network: "CupNetwork", path) -> str:
-    """Write a checkpoint of ``network`` to ``path`` atomically.
+def atomic_write(path, blob: bytes, prefix: str = ".checkpoint-") -> str:
+    """Write ``blob`` to ``path`` atomically (temp file + ``os.replace``).
 
-    The temp-file + ``os.replace`` dance means ``path`` transitions
-    atomically from the previous complete checkpoint to the new one; an
-    interrupt mid-write leaves the previous checkpoint intact.
+    ``path`` transitions atomically from its previous complete contents
+    to the new ones; an interrupt mid-write leaves the previous file
+    intact.  Shared by the simulation checkpointer and the live-node
+    state store — one write discipline, one set of crash semantics.
     """
     path = os.fspath(path)
-    blob = snapshot_network(network)
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".checkpoint-")
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=prefix)
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(blob)
@@ -208,6 +209,11 @@ def save_checkpoint(network: "CupNetwork", path) -> str:
             os.unlink(tmp)
         raise
     return path
+
+
+def save_checkpoint(network: "CupNetwork", path) -> str:
+    """Write a checkpoint of ``network`` to ``path`` atomically."""
+    return atomic_write(path, snapshot_network(network))
 
 
 def load_checkpoint(path, verify_fingerprint: bool = True) -> "CupNetwork":

@@ -179,6 +179,17 @@ class TestNodeCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["node", "serve", "--mode", "gossip"])
 
+    def test_serve_state_dir_defaults_off(self):
+        args = build_parser().parse_args(["node", "serve"])
+        assert args.state_dir is None
+        assert args.snapshot_interval == 5.0
+        args = build_parser().parse_args(
+            ["node", "serve", "--state-dir", "/var/lib/cup",
+             "--snapshot-interval", "0.5"]
+        )
+        assert args.state_dir == "/var/lib/cup"
+        assert args.snapshot_interval == 0.5
+
     def test_put_get_parse(self):
         put = build_parser().parse_args(
             ["node", "put", "somekey", "replica-1",
@@ -202,13 +213,24 @@ class TestNodeCommands:
                 ["node", "put", "k", "r", "--event", "resurrect"]
             )
 
-    def test_client_commands_fail_cleanly_without_a_daemon(self, capsys):
-        # Port 9 (discard) refuses on localhost: the client must exit 1
-        # with a diagnostic, not a traceback.
-        status = main(["node", "info", "--node", "127.0.0.1:9",
-                       "--timeout", "0.5"])
+    @pytest.mark.parametrize("argv", [
+        ["node", "info"],
+        ["node", "stop"],
+        ["node", "get", "somekey"],
+        ["node", "put", "somekey", "replica-1"],
+    ])
+    def test_client_commands_fail_cleanly_without_a_daemon(
+        self, argv, capsys
+    ):
+        # Port 9 (discard) refuses on localhost: every client
+        # subcommand must exit 1 with a one-line diagnostic naming the
+        # unreachable address, not a traceback.
+        status = main(argv + ["--node", "127.0.0.1:9",
+                              "--timeout", "0.5"])
+        err = capsys.readouterr().err
         assert status == 1
-        assert "error:" in capsys.readouterr().err
+        assert "error: no daemon at 127.0.0.1:9" in err
+        assert len(err.strip().splitlines()) == 1
 
     def test_node_address_parsing(self):
         from repro.net.client import parse_address

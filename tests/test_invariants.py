@@ -228,6 +228,67 @@ class TestViolationDetection:
         assert "ghost" in checker.report()
 
 
+class TestHazardWindows:
+    """Timed windows widen ``active_hazards()`` past the base set."""
+
+    def make(self, **kwargs):
+        net = CupNetwork(tiny_config())
+        checker = net.attach_invariants(**kwargs)
+        return net, checker
+
+    def test_window_adds_hazard_then_expires_with_the_clock(self):
+        net, checker = self.make()
+        assert checker.active_hazards() == checker.hazards
+        checker.open_hazard_window(["loss"], duration=10.0)
+        assert "loss" in checker.active_hazards()
+        assert checker.hazards == frozenset()  # base set untouched
+        net.run_until(20.0)
+        assert "loss" not in checker.active_hazards()
+
+    def test_indefinite_window_stays_until_closed(self):
+        net, checker = self.make()
+        checker.open_hazard_window(["loss"])
+        net.run_until(100.0)
+        assert "loss" in checker.active_hazards()
+        checker.close_hazard_window(["loss"])
+        assert "loss" not in checker.active_hazards()
+
+    def test_overlapping_windows_keep_the_later_expiry(self):
+        net, checker = self.make()
+        checker.open_hazard_window(["loss"], duration=50.0)
+        checker.open_hazard_window(["loss"], duration=5.0)  # no shorten
+        net.run_until(20.0)
+        assert "loss" in checker.active_hazards()
+        net.run_until(60.0)
+        assert "loss" not in checker.active_hazards()
+
+    def test_close_without_arguments_clears_every_window(self):
+        _net, checker = self.make()
+        checker.open_hazard_window(["loss", "reorder"])
+        checker.close_hazard_window()
+        assert checker.active_hazards() == checker.hazards
+
+    def test_window_relaxes_churn_like_a_declared_hazard(self):
+        net, checker = self.make()
+        checker.open_hazard_window(["churn", "crash"])
+        net.leave_node(next(iter(net.nodes)))  # tolerated: window open
+        checker.close_hazard_window()
+        with pytest.raises(InvariantViolationError, match="hazard"):
+            net.leave_node(next(iter(net.nodes)))
+
+    def test_unknown_or_negative_window_rejected(self):
+        _net, checker = self.make()
+        with pytest.raises(ValueError, match="unknown hazards"):
+            checker.open_hazard_window(["gremlins"])
+        with pytest.raises(ValueError):
+            checker.open_hazard_window(["loss"], duration=-1.0)
+
+    def test_report_names_open_windows(self):
+        _net, checker = self.make()
+        checker.open_hazard_window(["loss"], duration=30.0)
+        assert "loss" in checker.report()
+
+
 class TestRelaxation:
     def test_churn_relaxes_tree_and_sequence_checks(self):
         net = CupNetwork(tiny_config())

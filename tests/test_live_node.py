@@ -16,6 +16,7 @@ from repro.net.daemon import LiveNode, LiveNodeConfig
 from repro.net.seam import (
     conforming,
     missing_clock_api,
+    missing_router_methods,
     missing_transport_methods,
 )
 from repro.net.transport import LiveTransport
@@ -51,6 +52,11 @@ def test_transport_seam_conformance_both_worlds():
 def test_clock_seam_conformance_both_worlds():
     assert missing_clock_api(Simulator()) == []
     assert missing_clock_api(LiveClock()) == []
+
+
+def test_router_seam_conformance():
+    assert missing_router_methods(_NullRouter()) == []
+    assert missing_router_methods(LiveNode(LiveNodeConfig(port=0))) == []
 
 
 def test_live_clock_tracks_wall_time():
@@ -322,3 +328,243 @@ def test_config_rejects_unknown_mode_and_codec():
         LiveNodeConfig(mode="gossip")
     with pytest.raises(Exception):
         LiveNodeConfig(codec="carrier-pigeon")
+
+
+def test_config_rejects_bad_resilience_knobs():
+    with pytest.raises(ValueError):
+        LiveNodeConfig(snapshot_interval=0.0)
+    with pytest.raises(ValueError):
+        LiveNodeConfig(dial_backoff_base=0.0)
+    with pytest.raises(ValueError):
+        LiveNodeConfig(dial_backoff_base=2.0, dial_backoff_max=1.0)
+    with pytest.raises(ValueError):
+        LiveNodeConfig(suspect_after=0)
+    with pytest.raises(ValueError):
+        LiveNodeConfig(suspect_after=4, dead_after=2)
+    with pytest.raises(ValueError):
+        LiveNodeConfig(outbox_limit=0)
+
+
+# ----------------------------------------------------------------------
+# Crash durability and connection resilience
+# ----------------------------------------------------------------------
+
+
+async def _hard_kill(node):
+    """Die like ``kill -9``: no leaving frame, no final snapshot."""
+    node.keepalive.stop()
+    if node._gc_process is not None:
+        node._gc_process.stop()
+    if node._snapshot_process is not None:
+        node._snapshot_process.stop()
+    node._server.close()
+    for task in list(node._dialing.values()):
+        task.cancel()
+    for link in list(node._conns.values()):
+        if link.reader_task is not None:
+            link.reader_task.cancel()
+        link.close()
+    node._conns.clear()
+    for health in node._health.values():
+        health.cancel_timers()
+    node._stopping = True
+    node._stopped.set()
+
+
+def test_warm_rejoin_restores_cache_and_reconverges(tmp_path):
+    state_dir = str(tmp_path / "state")
+    common = dict(quiet=True, keepalive_period=0.2)
+
+    async def main():
+        first = LiveNode(LiveNodeConfig(port=0, **common))
+        await first.start()
+        second = LiveNode(LiveNodeConfig(
+            port=0, peers=(first.node_id,), state_dir=state_dir,
+            snapshot_interval=60.0, **common,
+        ))
+        await second.start()
+        want = {first.node_id, second.node_id}
+        await _poll(lambda: first.members == want
+                    and second.members == want)
+
+        # A key whose authority is FIRST, so SECOND holds a subscriber
+        # copy that only durability can bring back after the crash.
+        key = next(
+            f"rejoin/k{i}" for i in range(200)
+            if second.overlay.authority(f"rejoin/k{i}") == first.node_id
+        )
+        put = await second._client_put(
+            {"t": "put", "key": key, "replica_id": "r1",
+             "lifetime": 300.0}
+        )
+        assert put["t"] == "ok"
+        got = await second._client_get(
+            {"t": "get", "key": key, "timeout": 10.0}
+        )
+        assert got["ok"], got
+        await _poll(lambda: second.node.cache.states[key].has_fresh(
+            second.clock.now))
+        second._snapshot_state()  # the cadence's write, forced
+        assert second.metrics.state_snapshots == 1
+        victim_port = int(second.node_id.rsplit(":", 1)[1])
+        await _hard_kill(second)
+        await _poll(lambda: first.members == {first.node_id},
+                    timeout=20.0)
+
+        # Restart on the same port from the state dir alone: no seeds.
+        reborn = LiveNode(LiveNodeConfig(
+            port=victim_port, state_dir=state_dir,
+            snapshot_interval=60.0, **common,
+        ))
+        await reborn.start()
+        try:
+            assert reborn._rejoined is True
+            assert reborn.metrics.state_restored_keys >= 1
+            assert key in reborn.node.cache.states
+            # Immediate local hit from the restored cache — before any
+            # pull could have refilled it over the network.
+            hit = await reborn._client_get(
+                {"t": "get", "key": key, "timeout": 5.0}
+            )
+            assert hit["ok"] and hit["hit"], hit
+            await _poll(lambda: first.members == want
+                        and reborn.members == want, timeout=20.0)
+            assert reborn._client_info()["rejoined"] is True
+        finally:
+            await _stop_all([first, reborn])
+
+    asyncio.run(main())
+
+
+def test_cold_start_without_state_file_serves_normally(tmp_path):
+    # A configured-but-empty state dir must behave exactly like a
+    # stateless boot (the chaos drill's cold path).
+    async def main():
+        node = LiveNode(LiveNodeConfig(
+            port=0, quiet=True, state_dir=str(tmp_path / "empty"),
+        ))
+        await node.start()
+        try:
+            assert node._rejoined is False
+            info = node._client_info()
+            assert info["rejoined"] is False
+            assert info["persistence"]["saves"] == 0
+        finally:
+            await _stop_all([node])
+
+    asyncio.run(main())
+
+
+def test_unreachable_member_is_suspected_then_declared_dead():
+    async def scenario(nodes):
+        node = nodes[0]
+        ghost = "127.0.0.1:1"  # nothing listens on port 1
+        node._add_member(ghost)
+        node._ensure_link(ghost, probe=True)
+        await _poll(lambda: ghost not in node.members, timeout=20.0)
+        assert node.metrics.dial_failures >= node.config.dead_after
+        assert node.metrics.dial_retries >= 1
+        assert node.metrics.peers_suspected >= 1
+        assert node.metrics.peers_declared_dead >= 1
+        assert ghost not in node._health  # bookkeeping fully reclaimed
+
+    _run_cluster(1, scenario, dial_backoff_base=0.02,
+                 dial_backoff_max=0.05, dial_backoff_jitter=0.0)
+
+
+def test_dial_backoff_gates_non_probe_callers():
+    async def scenario(nodes):
+        node = nodes[0]
+        ghost = "127.0.0.1:1"
+        node._seeds.add(ghost)  # keep the retry alive w/o membership
+        assert (await node._ensure_link(ghost)) is None
+        assert node._health[ghost].retry_handle is not None
+        # During the cooldown a plain caller gets None without a dial;
+        # only the pending (far-future) redial owns the next attempt.
+        assert (await node._ensure_link(ghost)) is None
+        assert node.metrics.dial_failures == 1
+
+    _run_cluster(1, scenario, dial_backoff_base=30.0,
+                 dial_backoff_max=30.0)
+
+
+def test_outbox_is_bounded_and_overflow_counted():
+    async def scenario(nodes):
+        a, b = nodes
+        link = a._conns[b.node_id]
+        link.writer_task.cancel()  # wedge the drain: queue can only fill
+        for _ in range(a.config.outbox_limit + 5):
+            link.send_json({"t": "joined", "id": "overflow-probe"})
+        assert link.outbox.qsize() <= a.config.outbox_limit
+        assert link.overflows >= 5
+        assert a.metrics.outbox_overflows >= 5
+        assert a._client_info()["livenode"]["outbox_overflows"] >= 5
+
+    _run_cluster(2, scenario, outbox_limit=8)
+
+
+def test_hazard_window_client_op():
+    async def scenario(nodes):
+        node = nodes[0]
+        reply = await _socket_request(
+            node, {"t": "hazard", "action": "open",
+                   "hazards": ["loss"], "duration": 30.0},
+        )
+        assert reply["t"] == "ok"
+        assert "loss" in reply["active"]
+        reply = await _socket_request(
+            node, {"t": "hazard", "action": "close",
+                   "hazards": ["loss"]},
+        )
+        assert reply["t"] == "ok"
+        assert "loss" not in reply["active"]
+        bad = await _socket_request(
+            node, {"t": "hazard", "action": "open",
+                   "hazards": ["bogus"]},
+        )
+        assert bad["t"] == "error"
+
+    _run_cluster(1, scenario)
+
+
+def test_info_reports_resilience_surface():
+    async def scenario(nodes):
+        info = nodes[0]._client_info()
+        assert info["rejoined"] is False
+        assert info["open_gaps"] == 0
+        assert info["persistence"] is None
+        assert "state_restored_keys" in info["livenode"]
+        assert isinstance(info["peers"], dict)
+
+    _run_cluster(1, scenario)
+
+
+def test_client_buffers_pipelined_response_frames(monkeypatch):
+    # Two responses landing in one recv() must serve two requests in
+    # order — the decoded leftover used to be dropped on the floor.
+    from repro.net import client as client_mod
+    from repro.net.client import NodeClient
+
+    replies = [{"t": "ok", "n": 1}, {"t": "ok", "n": 2}]
+    blob = b"".join(encode_frame(reply) for reply in replies)
+
+    class _FakeSocket:
+        def __init__(self):
+            self._chunks = [blob, b""]
+
+        def sendall(self, data):
+            pass
+
+        def recv(self, _n):
+            return self._chunks.pop(0)
+
+        def close(self):
+            pass
+
+    monkeypatch.setattr(
+        client_mod.socket, "create_connection",
+        lambda *args, **kwargs: _FakeSocket(),
+    )
+    client = NodeClient("127.0.0.1:1")
+    assert client.request({"t": "a"})["n"] == 1
+    assert client.request({"t": "b"})["n"] == 2

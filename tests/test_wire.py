@@ -146,6 +146,12 @@ def test_malformed_update_raises_wire_error():
 # ----------------------------------------------------------------------
 
 
+#: Every codec importable in this environment; json is always present,
+#: msgpack rides along when installed.  Frame round-trips below run
+#: once per codec so both wire formats stay honest.
+CODECS = sorted(available_codecs())
+
+
 def test_codec_registry_always_has_json():
     assert "json" in available_codecs()
     assert resolve_codec("json") == 1
@@ -153,28 +159,61 @@ def test_codec_registry_always_has_json():
         resolve_codec("carrier-pigeon")
 
 
-def test_frame_roundtrip_single():
+def test_unavailable_codec_is_a_clean_wire_error():
+    # When msgpack is not importable, requesting it must fail as a
+    # WireError naming the available codecs — not an ImportError from
+    # deep inside the encoder.  (With msgpack installed this asserts
+    # the same contract via a codec that can never exist.)
+    missing = ("msgpack" if "msgpack" not in available_codecs()
+               else "msgpack-ng")
+    with pytest.raises(WireError, match="not available") as excinfo:
+        resolve_codec(missing)
+    assert "json" in str(excinfo.value)
+    with pytest.raises(WireError, match="not available"):
+        encode_frame({"t": "x"}, missing)
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_frame_roundtrip_single(codec):
     decoder = FrameDecoder()
-    frames = decoder.feed(encode_frame({"t": "hello", "id": "n1"}))
+    frames = decoder.feed(
+        encode_frame({"t": "hello", "id": "n1"}, codec)
+    )
     assert frames == [{"t": "hello", "id": "n1"}]
     assert decoder.buffered == 0
 
 
-def test_frame_roundtrip_many_in_one_read():
+@pytest.mark.parametrize("codec", CODECS)
+def test_frame_roundtrip_many_in_one_read(codec):
     payloads = [{"i": i} for i in range(20)]
-    blob = b"".join(encode_frame(p) for p in payloads)
+    blob = b"".join(encode_frame(p, codec) for p in payloads)
     assert FrameDecoder().feed(blob) == payloads
 
 
-def test_frame_roundtrip_byte_at_a_time():
+@pytest.mark.parametrize("codec", CODECS)
+def test_frame_roundtrip_byte_at_a_time(codec):
     payloads = [{"t": "msg", "n": i, "data": "x" * i} for i in range(8)]
-    blob = b"".join(encode_frame(p) for p in payloads)
+    blob = b"".join(encode_frame(p, codec) for p in payloads)
     decoder = FrameDecoder()
     out = []
     for i in range(len(blob)):
         out.extend(decoder.feed(blob[i:i + 1]))
     assert out == payloads
     assert decoder.buffered == 0
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_message_roundtrip_through_frames_each_codec(codec):
+    msg = UpdateMessage(
+        key="k", update_type=UpdateType.REFRESH,
+        entries=(entry(seq=1), entry(replica="r2", seq=2)),
+        replica_id="r1", issued_at=99.25, route=("n1", "n2"),
+    )
+    msg.hops = 2
+    blob = encode_frame(message_to_wire(msg), codec)
+    (decoded,) = FrameDecoder().feed(blob)
+    restored = message_from_wire(decoded)
+    assert message_to_wire(restored) == message_to_wire(msg)
 
 
 def test_partial_frame_returns_nothing_until_complete():
